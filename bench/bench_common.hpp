@@ -1,0 +1,106 @@
+// Shared helpers for the table/figure benchmarks (see DESIGN.md §4 and
+// EXPERIMENTS.md). Each bench binary prints its paper-style table(s) first,
+// then runs its google-benchmark timing section.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/simple_oneshot.hpp"
+#include "core/sqrt_oneshot.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace stamped::bench {
+
+/// Distinct registers written by a full random-schedule run of the system
+/// built by `factory`, maximized over `seeds`.
+inline int max_registers_written_random(const runtime::SystemFactory& factory,
+                                        const std::vector<std::uint64_t>& seeds) {
+  int worst = 0;
+  for (std::uint64_t seed : seeds) {
+    auto sys = factory();
+    util::Rng rng(seed);
+    runtime::run_random(*sys, rng, std::uint64_t{1} << 32);
+    runtime::check_no_failures(*sys);
+    worst = std::max(worst, sys->registers_written());
+  }
+  return worst;
+}
+
+/// Distinct registers written by a fully sequential run (process 0 completes,
+/// then process 1, ...).
+inline int registers_written_sequential(const runtime::SystemFactory& factory) {
+  auto sys = factory();
+  for (int p = 0; p < sys->num_processes(); ++p) {
+    runtime::run_solo_until_calls_complete(*sys, p, 1, std::uint64_t{1} << 32);
+  }
+  runtime::check_no_failures(*sys);
+  return sys->registers_written();
+}
+
+/// Standard seed set used across space benchmarks.
+inline std::vector<std::uint64_t> standard_seeds() {
+  return {101, 202, 303, 404, 505};
+}
+
+/// Staggered arrival: processes arrive in groups of `group`; each group runs
+/// to completion under a random schedule before the next group starts. This
+/// is the workload that actually drives Algorithm 4 through many phases —
+/// under a fully random schedule almost every call lands in phase 1 (it
+/// observes the phase-1 record and returns without writing), while fully
+/// sequential arrival maximizes the phase count.
+inline void run_staggered(runtime::ISystem& sys, int group, util::Rng& rng) {
+  const int n = sys.num_processes();
+  for (int base = 0; base < n; base += group) {
+    const int hi = std::min(n, base + group);
+    std::vector<int> live;
+    for (;;) {
+      live.clear();
+      for (int p = base; p < hi; ++p) {
+        if (!sys.finished(p)) live.push_back(p);
+      }
+      if (live.empty()) break;
+      sys.step(live[static_cast<std::size_t>(rng.next_below(live.size()))]);
+    }
+  }
+}
+
+/// Staller workload: the first half of the processes run up to (but not
+/// including) their first write and stall there; the second half runs to
+/// completion; then the stalled writers are released. Exercises Algorithm
+/// 4's stale-write paths (lines 10-12).
+inline void run_with_stallers(runtime::ISystem& sys, util::Rng& rng) {
+  const int n = sys.num_processes();
+  const std::unordered_set<int> nothing;
+  for (int p = 0; p < n / 2; ++p) {
+    runtime::run_solo_until_poised_outside(sys, p, nothing,
+                                           std::uint64_t{1} << 24);
+  }
+  std::vector<int> live;
+  auto drain = [&](int lo, int hi) {
+    for (;;) {
+      live.clear();
+      for (int p = lo; p < hi; ++p) {
+        if (!sys.finished(p)) live.push_back(p);
+      }
+      if (live.empty()) break;
+      sys.step(live[static_cast<std::size_t>(rng.next_below(live.size()))]);
+    }
+  };
+  drain(n / 2, n);
+  drain(0, n / 2);
+}
+
+/// Prints the table and flushes (bench output is consumed by tee).
+inline void emit(const util::Table& table) {
+  std::cout << table.render() << std::endl;
+}
+
+}  // namespace stamped::bench

@@ -1,0 +1,85 @@
+// Event ordering with logical clocks — the lineage the paper builds on
+// (Lamport 1978; Fidge/Mattern vector clocks) next to a shared-memory
+// timestamp object labeling the same events.
+//
+//   build/examples/event_ordering
+//
+// A small message-passing run is annotated with Lamport and vector times;
+// the example shows where Lamport's integer clock only *respects* the order
+// (e1 -> e2 implies C1 < C2) while vector clocks *characterize* it, and then
+// labels the same process-local events with the simulator's max-scan
+// timestamp object.
+#include <iostream>
+
+#include "clocks/lamport_clock.hpp"
+#include "clocks/vector_clock.hpp"
+#include "core/maxscan_longlived.hpp"
+#include "runtime/scheduler.hpp"
+
+int main() {
+  using namespace stamped;
+  using clocks::MessagePassingRun;
+  using clocks::VectorClock;
+
+  MessagePassingRun run(3);
+  const int a = run.local(0);          // p0: a
+  const int s1 = run.send(0, 1);       // p0 -> p1
+  const int b = run.local(2);          // p2: b (concurrent with everything so far)
+  const int r1 = run.receive(s1);      // p1 receives
+  const int s2 = run.send(1, 2);       // p1 -> p2
+  const int r2 = run.receive(s2);      // p2 receives
+  const int c = run.local(2);          // p2: c
+
+  auto kind_name = [](const clocks::MpEvent& e) {
+    switch (e.kind) {
+      case clocks::MpEvent::Kind::kLocal: return "local";
+      case clocks::MpEvent::Kind::kSend: return "send ";
+      case clocks::MpEvent::Kind::kReceive: return "recv ";
+    }
+    return "?";
+  };
+
+  std::cout << "event log (Lamport | vector):\n";
+  for (const auto& ev : run.events()) {
+    std::cout << "  p" << ev.pid << ' ' << kind_name(ev) << "  L="
+              << ev.lamport << "  V=" << VectorClock(ev.vector_time).repr()
+              << '\n';
+  }
+
+  std::cout << "\nhappens-before vs clocks:\n";
+  auto show = [&](int x, int y, const char* label) {
+    const auto& ev = run.events();
+    const bool hb = run.happens_before(x, y);
+    const bool lamport_lt = ev[static_cast<std::size_t>(x)].lamport <
+                            ev[static_cast<std::size_t>(y)].lamport;
+    const bool vc_lt = VectorClock::before(
+        VectorClock(ev[static_cast<std::size_t>(x)].vector_time),
+        VectorClock(ev[static_cast<std::size_t>(y)].vector_time));
+    std::cout << "  " << label << ": hb=" << hb << " lamport<" << '='
+              << lamport_lt << " vector<" << '=' << vc_lt << '\n';
+  };
+  show(a, r2, "a -> r2 (via two messages)");
+  show(b, c, "b -> c (program order)   ");
+  show(a, b, "a || b (concurrent)      ");
+  show(b, r1, "b || r1 (concurrent)     ");
+
+  // The same ordering service from shared registers: each message-passing
+  // process is paired with a simulated process that calls getTS at its
+  // events. Sequential (happens-before ordered) calls get increasing
+  // timestamps.
+  std::cout << "\nshared-memory timestamps for the causal chain a -> s1 -> "
+               "r1 -> s2 -> r2 -> c:\n";
+  runtime::CallLog<std::int64_t> log;
+  auto sys = core::make_maxscan_system(3, 4, &log);
+  // Drive the calls in causal order: p0 (a, s1), p1 (r1, s2), p2 (r2, c).
+  for (int pid : {0, 0, 1, 1, 2, 2}) {
+    runtime::run_solo_until_calls_complete(*sys, pid, 1, 10000);
+  }
+  for (const auto& rec : log.snapshot()) {
+    std::cout << "  p" << rec.pid << " call#" << rec.call_index << " -> ts "
+              << rec.ts << '\n';
+  }
+  std::cout << "(strictly increasing because each event happens before the "
+               "next)\n";
+  return 0;
+}

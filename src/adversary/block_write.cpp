@@ -1,0 +1,58 @@
+#include "adversary/block_write.hpp"
+
+#include <algorithm>
+
+#include "adversary/covering.hpp"
+#include "util/assert.hpp"
+
+namespace stamped::adversary {
+
+using runtime::ISystem;
+
+runtime::Schedule block_write(ISystem& sys, std::vector<int> writers) {
+  std::sort(writers.begin(), writers.end());
+  runtime::Schedule executed;
+  executed.reserve(writers.size());
+  for (int pid : writers) {
+    const runtime::PendingOp op = sys.pending(pid);
+    STAMPED_ASSERT_MSG(op.is_write(),
+                       "block-write process " << pid << " is not poised to "
+                                              << "write");
+    sys.step(pid);
+    executed.push_back(pid);
+  }
+  return executed;
+}
+
+bool covers_all(ISystem& sys, const std::vector<int>& writers,
+                const std::vector<int>& regs) {
+  for (int reg : regs) {
+    const bool covered = std::any_of(
+        writers.begin(), writers.end(),
+        [&](int pid) { return sys.pending(pid).covers(reg); });
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::vector<int>>> choose_disjoint_covering_sets(
+    ISystem& sys, const std::vector<int>& regs, int count) {
+  std::vector<std::vector<int>> sets(static_cast<std::size_t>(count));
+  std::unordered_set<int> used;
+  for (int reg : regs) {
+    const std::vector<int> candidates = covering_pids(sys, reg);
+    std::vector<int> fresh;
+    for (int pid : candidates) {
+      if (!used.contains(pid)) fresh.push_back(pid);
+    }
+    if (static_cast<int>(fresh.size()) < count) return std::nullopt;
+    for (int s = 0; s < count; ++s) {
+      sets[static_cast<std::size_t>(s)].push_back(
+          fresh[static_cast<std::size_t>(s)]);
+      used.insert(fresh[static_cast<std::size_t>(s)]);
+    }
+  }
+  return sets;
+}
+
+}  // namespace stamped::adversary

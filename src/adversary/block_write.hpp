@@ -1,0 +1,34 @@
+// Block writes (paper Section 2): if a process set P covers a register set R,
+// executing exactly one step of each process of P (in a fixed permutation
+// pi_P) overwrites all of R, obliterating any information stored there.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/isystem.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace stamped::adversary {
+
+/// Executes the block write pi_P: one step per process of `writers`, in
+/// increasing pid order (the paper's fixed permutation). Every writer must be
+/// poised to write. Returns the executed schedule fragment.
+runtime::Schedule block_write(runtime::ISystem& sys,
+                              std::vector<int> writers);
+
+/// Verifies that `writers` covers every register of `regs` (each register has
+/// at least one writer poised on it).
+bool covers_all(runtime::ISystem& sys, const std::vector<int>& writers,
+                const std::vector<int>& regs);
+
+/// Selects `count` pairwise disjoint covering sets for `regs`, each of size
+/// |regs| (one distinct covering process per register per set). Requires each
+/// register of `regs` to be covered by at least `count` processes; returns
+/// std::nullopt otherwise.
+std::optional<std::vector<std::vector<int>>> choose_disjoint_covering_sets(
+    runtime::ISystem& sys, const std::vector<int>& regs, int count);
+
+}  // namespace stamped::adversary

@@ -1,0 +1,122 @@
+#include "adversary/covering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace stamped::adversary {
+
+using runtime::ISystem;
+using runtime::PendingOp;
+
+std::vector<int> signature(ISystem& sys) {
+  std::vector<int> sig(static_cast<std::size_t>(sys.num_registers()), 0);
+  for (int p = 0; p < sys.num_processes(); ++p) {
+    if (sys.finished(p)) continue;
+    const PendingOp op = sys.pending(p);
+    if (op.is_write()) ++sig[static_cast<std::size_t>(op.reg)];
+  }
+  return sig;
+}
+
+std::vector<int> order_signature(std::vector<int> sig) {
+  std::sort(sig.begin(), sig.end(), std::greater<int>());
+  return sig;
+}
+
+std::vector<int> ordered_signature(ISystem& sys) {
+  return order_signature(signature(sys));
+}
+
+std::vector<int> r3_registers(ISystem& sys) {
+  std::vector<int> out;
+  const std::vector<int> sig = signature(sys);
+  for (std::size_t r = 0; r < sig.size(); ++r) {
+    if (sig[r] >= 3) out.push_back(static_cast<int>(r));
+  }
+  return out;
+}
+
+std::vector<int> covering_pids(ISystem& sys, int reg) {
+  std::vector<int> out;
+  for (int p = 0; p < sys.num_processes(); ++p) {
+    if (sys.finished(p)) continue;
+    if (sys.pending(p).covers(reg)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<int> poised_pids(ISystem& sys,
+                             const std::unordered_set<int>& regs) {
+  std::vector<int> out;
+  for (int p = 0; p < sys.num_processes(); ++p) {
+    if (sys.finished(p)) continue;
+    const PendingOp op = sys.pending(p);
+    if (op.is_write() && regs.contains(op.reg)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<int> poised_outside(ISystem& sys,
+                                const std::unordered_set<int>& regs) {
+  std::vector<int> out;
+  for (int p = 0; p < sys.num_processes(); ++p) {
+    if (sys.finished(p)) continue;
+    const PendingOp op = sys.pending(p);
+    if (op.is_write() && !regs.contains(op.reg)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<int> idle_pids(ISystem& sys) {
+  std::vector<int> out;
+  for (int p = 0; p < sys.num_processes(); ++p) {
+    if (sys.idle(p) && !sys.finished(p)) out.push_back(p);
+  }
+  return out;
+}
+
+bool is_3k_configuration(ISystem& sys, int k) {
+  const std::vector<int> sig = signature(sys);
+  const int total = std::accumulate(sig.begin(), sig.end(), 0);
+  const int mx = sig.empty() ? 0 : *std::max_element(sig.begin(), sig.end());
+  return total == k && mx <= 3;
+}
+
+bool is_l_constrained(const std::vector<int>& ordered_sig, int l) {
+  for (int c = 1; c <= l && c <= static_cast<int>(ordered_sig.size()); ++c) {
+    if (ordered_sig[static_cast<std::size_t>(c - 1)] > l - c) return false;
+  }
+  return true;
+}
+
+bool is_jk_full(const std::vector<int>& ordered_sig, int j, int k) {
+  if (j < 1 || j > static_cast<int>(ordered_sig.size())) return false;
+  return ordered_sig[static_cast<std::size_t>(j - 1)] >= k;
+}
+
+int diagonal_column(const std::vector<int>& ordered_sig, int l) {
+  // Paper: "there is at least one j <= m-1 satisfying s_j >= m-j" — the
+  // threshold l - j must be at least 1, otherwise the condition is vacuous.
+  int best = 0;
+  for (int j = 1; j <= static_cast<int>(ordered_sig.size()) && j <= l - 1;
+       ++j) {
+    if (ordered_sig[static_cast<std::size_t>(j - 1)] >= l - j) best = j;
+  }
+  return best;
+}
+
+std::vector<int> top_covered_registers(ISystem& sys, int j) {
+  const std::vector<int> sig = signature(sys);
+  std::vector<int> regs(sig.size());
+  std::iota(regs.begin(), regs.end(), 0);
+  std::stable_sort(regs.begin(), regs.end(), [&](int a, int b) {
+    return sig[static_cast<std::size_t>(a)] > sig[static_cast<std::size_t>(b)];
+  });
+  STAMPED_ASSERT(j <= static_cast<int>(regs.size()));
+  regs.resize(static_cast<std::size_t>(j));
+  return regs;
+}
+
+}  // namespace stamped::adversary

@@ -1,0 +1,63 @@
+// Covering-argument vocabulary (paper Sections 2-4), computed on live
+// configurations.
+//
+// A process covers register r when its pending operation writes r. The
+// signature sig(C) counts covering processes per register; the ordered
+// signature sorts it non-increasingly. These drive both lower-bound
+// constructions:
+//  - Section 3: (3,k)-configurations and R3(C) (registers covered by >= 3);
+//  - Section 4: l-constrained and (j,k)-full configurations on the grid.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/isystem.hpp"
+
+namespace stamped::adversary {
+
+/// sig(C): for each register, the number of processes poised to write it.
+std::vector<int> signature(runtime::ISystem& sys);
+
+/// ordSig(C): signature sorted non-increasingly.
+std::vector<int> ordered_signature(runtime::ISystem& sys);
+
+/// Helper: sorts a signature non-increasingly.
+std::vector<int> order_signature(std::vector<int> sig);
+
+/// R3(C): registers covered by at least three processes.
+std::vector<int> r3_registers(runtime::ISystem& sys);
+
+/// The pids covering register `reg`.
+std::vector<int> covering_pids(runtime::ISystem& sys, int reg);
+
+/// The pids covering some register of `regs`: poised(C, R).
+std::vector<int> poised_pids(runtime::ISystem& sys,
+                             const std::unordered_set<int>& regs);
+
+/// The pids covering some register NOT in `regs`: poised(C, R-bar).
+std::vector<int> poised_outside(runtime::ISystem& sys,
+                                const std::unordered_set<int>& regs);
+
+/// Idle processes (zero steps executed).
+std::vector<int> idle_pids(runtime::ISystem& sys);
+
+/// A (3,k)-configuration: k processes cover registers, none covered by > 3.
+bool is_3k_configuration(runtime::ISystem& sys, int k);
+
+/// l-constrained: the ordered signature satisfies s_c <= l - c for
+/// 1 <= c <= l (paper Section 4).
+bool is_l_constrained(const std::vector<int>& ordered_sig, int l);
+
+/// (j,k)-full: at least j registers are covered by at least k processes.
+bool is_jk_full(const std::vector<int>& ordered_sig, int j, int k);
+
+/// The largest j >= 1 such that the configuration is (j, l-j)-full
+/// (ordSig[j-1] >= l - j), or 0 if none. This detects a column reaching the
+/// stepped diagonal (paper Figure 1).
+int diagonal_column(const std::vector<int>& ordered_sig, int l);
+
+/// The j registers with the highest cover counts (ties broken by index).
+std::vector<int> top_covered_registers(runtime::ISystem& sys, int j);
+
+}  // namespace stamped::adversary

@@ -1,0 +1,42 @@
+#include "adversary/lemma21.hpp"
+
+#include "adversary/block_write.hpp"
+#include "util/assert.hpp"
+
+namespace stamped::adversary {
+
+Lemma21Result test_lemma21(const runtime::SystemFactory& factory,
+                           const runtime::Schedule& prefix,
+                           const std::vector<int>& b0,
+                           const std::vector<int>& b1,
+                           const std::unordered_set<int>& covered, int q0,
+                           int q1, std::uint64_t solo_cap) {
+  Lemma21Result result;
+  const std::vector<int>* blocks[2] = {&b0, &b1};
+  const int solos[2] = {q0, q1};
+
+  for (int i = 0; i < 2; ++i) {
+    auto sys = runtime::replay(factory, prefix);
+    block_write(*sys, *blocks[i]);
+    const std::size_t mark = sys->step_infos().size();
+    result.completed[i] =
+        runtime::run_solo_until_calls_complete(*sys, solos[i], 1, solo_cap);
+    const auto& infos = sys->step_infos();
+    for (std::size_t s = mark; s < infos.size(); ++s) {
+      if (infos[s].pid == solos[i] && infos[s].is_write() &&
+          !covered.contains(infos[s].reg)) {
+        result.writes_outside[i] = true;
+        break;
+      }
+    }
+  }
+
+  if (result.writes_outside[0]) {
+    result.chosen = 0;
+  } else if (result.writes_outside[1]) {
+    result.chosen = 1;
+  }
+  return result;
+}
+
+}  // namespace stamped::adversary

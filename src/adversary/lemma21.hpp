@@ -1,0 +1,45 @@
+// Empirical form of Lemma 2.1 (Ellen, Fatourou & Ruppert, restated in the
+// paper):
+//
+//   Let C be reachable; let B0, B1, B2, U0, U1 be disjoint process sets where
+//   B0, B1, B2 each cover a register set R in C. Then for some i in {0,1},
+//   every Ui-only execution from pi_Bi(C) containing a complete getTS writes
+//   to some register outside R.
+//
+// For a *correct* implementation the lemma is a theorem; this module tests
+// both branches by deterministic replay and reports which of them actually
+// forced an outside write. The lower-bound builders use the same mechanism
+// to realize the proofs' existential choices constructively.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace stamped::adversary {
+
+struct Lemma21Result {
+  /// branch i: did q_i write outside R during (pi_Bi(C); solo q_i)?
+  bool writes_outside[2] = {false, false};
+  /// A branch where the conclusion holds (-1 if neither — which would
+  /// falsify the lemma, i.e. expose an incorrect implementation).
+  int chosen = -1;
+  /// Whether each q_i completed its getTS within the step cap.
+  bool completed[2] = {false, false};
+
+  [[nodiscard]] bool lemma_holds() const { return chosen >= 0; }
+};
+
+/// Tests Lemma 2.1 with singleton U_i = {q_i}. `prefix` reaches the
+/// configuration C from the initial configuration; `b0`/`b1` must be poised
+/// covering sets of `covered` in C.
+Lemma21Result test_lemma21(const runtime::SystemFactory& factory,
+                           const runtime::Schedule& prefix,
+                           const std::vector<int>& b0,
+                           const std::vector<int>& b1,
+                           const std::unordered_set<int>& covered, int q0,
+                           int q1, std::uint64_t solo_cap);
+
+}  // namespace stamped::adversary

@@ -1,0 +1,120 @@
+#include "adversary/longlived_builder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "adversary/block_write.hpp"
+#include "adversary/covering.hpp"
+#include "util/assert.hpp"
+
+namespace stamped::adversary {
+
+using runtime::ISystem;
+
+namespace {
+
+/// Runs `pid` solo until it is poised to write a register currently covered
+/// by at most `max_covered` *other* processes, skipping over completed calls
+/// (long-lived processes start their next call). Returns false if the
+/// process's program finished first.
+bool solo_until_covering_sparse(ISystem& sys, int pid, int max_covered,
+                                std::uint64_t cap) {
+  for (std::uint64_t steps = 0; steps <= cap; ++steps) {
+    if (sys.finished(pid)) return false;
+    const runtime::PendingOp op = sys.pending(pid);
+    if (op.is_write()) {
+      const int others =
+          static_cast<int>(covering_pids(sys, op.reg).size()) - 1;
+      if (others <= max_covered) return true;
+    }
+    STAMPED_ASSERT_MSG(steps < cap,
+                       "solo cap hit for p" << pid << " while covering");
+    sys.step(pid);
+  }
+  return false;
+}
+
+/// Quiesce: every process that is mid-call runs solo until its current call
+/// completes (finished processes are skipped). Afterwards no process has a
+/// pending half-done getTS — the paper's quiescent configuration.
+void quiesce(ISystem& sys, std::uint64_t cap) {
+  for (int p = 0; p < sys.num_processes(); ++p) {
+    if (sys.finished(p) || sys.idle(p)) continue;
+    // A process paused between calls has completed as many calls as it
+    // started; detecting "mid-call" generically is implementation-specific,
+    // so we conservatively run to the next call boundary.
+    runtime::run_solo_until_calls_complete(sys, p, 1, cap);
+  }
+}
+
+}  // namespace
+
+std::string LongLivedBuildResult::summary() const {
+  std::ostringstream os;
+  os << "n=" << n << " k=" << k_reached << " covered=" << registers_covered
+     << " is3k=" << (is_3k ? "yes" : "no") << " rounds=" << rounds_run
+     << " repeat=(" << repeat_first << ',' << repeat_second << ')'
+     << " steps=" << schedule.size() << " stop=" << stop_reason;
+  return os.str();
+}
+
+LongLivedBuildResult build_longlived_covering(
+    const runtime::SystemFactory& factory, int n, int target_k,
+    const LongLivedBuilderOptions& opts) {
+  LongLivedBuildResult result;
+  result.n = n;
+
+  auto sys = factory();
+  STAMPED_ASSERT(sys->num_processes() == n);
+
+  // ---- Phase A: build a (3,k)-configuration (Lemma 3.2's conclusion) ----
+  int k = 0;
+  for (int p = 0; p < n && k < target_k; ++p) {
+    if (solo_until_covering_sparse(*sys, p, 2, opts.solo_cap)) ++k;
+  }
+  result.k_reached = k;
+  result.final_signature = signature(*sys);
+  result.is_3k = is_3k_configuration(*sys, k);
+  result.registers_covered = static_cast<int>(std::count_if(
+      result.final_signature.begin(), result.final_signature.end(),
+      [](int s) { return s > 0; }));
+
+  // ---- Phase B: Lemma 3.1 signature recurrence ---------------------------
+  std::map<std::vector<int>, int> seen;
+  for (int round = 0; round < opts.recurrence_rounds; ++round) {
+    const std::vector<int> sig = signature(*sys);
+    result.signature_history.push_back(sig);
+    auto [it, inserted] = seen.emplace(sig, round);
+    if (!inserted) {
+      result.repeat_first = it->second;
+      result.repeat_second = round;
+      result.rounds_run = round + 1;
+      break;
+    }
+    // Three block writes to the 3-covered registers (if any), then quiesce,
+    // then drive processes back to covering positions.
+    const std::vector<int> r3 = r3_registers(*sys);
+    if (!r3.empty()) {
+      auto triples = choose_disjoint_covering_sets(*sys, r3, 3);
+      if (triples.has_value()) {
+        for (const auto& block : *triples) block_write(*sys, block);
+      }
+    }
+    quiesce(*sys, opts.solo_cap);
+    for (int p = 0; p < n; ++p) {
+      if (sys->finished(p)) continue;
+      const runtime::PendingOp op = sys->pending(p);
+      if (op.is_write()) continue;  // already covering
+      solo_until_covering_sparse(*sys, p, 2, opts.solo_cap);
+    }
+    result.rounds_run = round + 1;
+  }
+
+  result.stop_reason = result.repeat_second >= 0 ? "signature-repeat"
+                                                 : "rounds-exhausted";
+  result.schedule = sys->executed_schedule();
+  return result;
+}
+
+}  // namespace stamped::adversary

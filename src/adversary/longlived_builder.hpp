@@ -1,0 +1,59 @@
+// The Section 3 lower-bound machinery for long-lived timestamps, executable.
+//
+// Theorem 1.1's proof builds (3,k)-configurations (k covering processes, no
+// register covered by more than three) for k up to floor(n/2), which forces
+// at least floor(n/6) covered registers. Lemma 3.1 additionally finds, along
+// any long enough execution, two (3,k)-configurations with the *same
+// signature* (pigeonhole over the finite signature space), connected by a
+// schedule beginning with three block writes to the 3-covered registers.
+//
+// Against a concrete long-lived implementation this builder:
+//  1. drives processes one by one to covering positions, greedily respecting
+//     the <=3-per-register constraint, yielding a (3,k)-configuration with
+//     the largest reachable k;
+//  2. demonstrates the Lemma 3.1 recurrence: repeatedly block-writes the
+//     3-covered registers, lets interrupted calls finish (quiescence), drives
+//     processes back to covering positions, and records signatures until one
+//     repeats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace stamped::adversary {
+
+struct LongLivedBuildResult {
+  int n = 0;
+  int k_reached = 0;           ///< covering processes in the (3,k)-configuration
+  int registers_covered = 0;   ///< >= ceil(k/3); Theorem 1.1: >= floor(n/6)
+  bool is_3k = false;          ///< signature really has no entry > 3
+  std::vector<int> final_signature;
+
+  // Lemma 3.1 recurrence demonstration.
+  int rounds_run = 0;
+  int repeat_first = -1;   ///< first round index of a repeated signature
+  int repeat_second = -1;  ///< second round index with the same signature
+  std::vector<std::vector<int>> signature_history;
+
+  runtime::Schedule schedule;
+  std::string stop_reason;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+struct LongLivedBuilderOptions {
+  std::uint64_t solo_cap = 200000;
+  int recurrence_rounds = 64;  ///< max rounds while searching for a repeat
+};
+
+/// Runs the Section 3 construction against the long-lived implementation
+/// produced by `factory` (n processes, each with enough getTS calls
+/// budgeted to survive the recurrence rounds).
+LongLivedBuildResult build_longlived_covering(
+    const runtime::SystemFactory& factory, int n, int target_k,
+    const LongLivedBuilderOptions& opts = {});
+
+}  // namespace stamped::adversary

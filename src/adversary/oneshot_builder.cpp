@@ -1,0 +1,361 @@
+#include "adversary/oneshot_builder.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "adversary/block_write.hpp"
+#include "adversary/covering.hpp"
+#include "util/assert.hpp"
+#include "util/bounds.hpp"
+#include "util/math.hpp"
+
+namespace stamped::adversary {
+
+using runtime::ISystem;
+using runtime::Schedule;
+using runtime::SystemFactory;
+
+namespace {
+
+/// Runs `pid` solo until it is poised to write outside `covered` (returns
+/// true; the write is NOT executed) or until it completes one getTS call or
+/// finishes (returns false). Throws if the step cap is hit — that would mean
+/// the implementation is not solo-terminating.
+bool solo_until_poised_outside_or_complete(
+    ISystem& sys, int pid, const std::unordered_set<int>& covered,
+    std::uint64_t cap) {
+  const std::uint64_t calls_before = sys.calls_completed(pid);
+  for (std::uint64_t steps = 0; steps <= cap; ++steps) {
+    if (sys.finished(pid)) return false;
+    if (sys.calls_completed(pid) > calls_before) return false;
+    const runtime::PendingOp op = sys.pending(pid);
+    if (op.is_write() && !covered.contains(op.reg)) return true;
+    STAMPED_ASSERT_MSG(steps < cap, "solo cap hit for p"
+                                        << pid
+                                        << " — not solo-terminating?");
+    sys.step(pid);
+  }
+  return false;  // unreachable
+}
+
+/// One branch of the Lemma 4.1 induction: a live system at configuration
+/// base + pi_B + delta, plus schedule bookkeeping.
+struct Branch {
+  std::unique_ptr<ISystem> sys;
+  std::vector<int> block;  ///< B (sorted), already executed on sys
+  Schedule delta;          ///< steps executed after the block write
+  std::vector<int> participants;
+  int last_pid = -1;
+  /// true: last is paused poised to write outside R (the proof's truncation
+  /// point). false: last completed its getTS without writing outside R.
+  bool last_poised_outside = false;
+
+  /// Runs `pid` solo on this branch, updating bookkeeping.
+  void add(int pid, const std::unordered_set<int>& covered,
+           std::uint64_t cap) {
+    const std::size_t mark = sys->executed_schedule().size();
+    last_poised_outside =
+        solo_until_poised_outside_or_complete(*sys, pid, covered, cap);
+    const auto& sched = sys->executed_schedule();
+    delta.insert(delta.end(), sched.begin() + static_cast<std::ptrdiff_t>(mark),
+                 sched.end());
+    participants.push_back(pid);
+    last_pid = pid;
+  }
+};
+
+/// Strips the trailing steps of `last_pid` from `delta` (each process's solo
+/// steps form one contiguous segment, and the last process's segment is the
+/// suffix).
+void strip_last_segment(Schedule& delta, int last_pid) {
+  while (!delta.empty() && delta.back() == last_pid) delta.pop_back();
+  STAMPED_ASSERT_MSG(
+      std::find(delta.begin(), delta.end(), last_pid) == delta.end(),
+      "last process steps were not a contiguous suffix");
+}
+
+}  // namespace
+
+Lemma41Output apply_lemma41(const SystemFactory& factory,
+                            const Schedule& base, const std::vector<int>& b0,
+                            const std::vector<int>& b1,
+                            const std::unordered_set<int>& covered,
+                            const std::vector<int>& idle_procs,
+                            std::uint64_t solo_cap) {
+  STAMPED_ASSERT_MSG(idle_procs.size() >= 2,
+                     "Lemma 4.1 needs |U| >= 2, got " << idle_procs.size());
+  Lemma41Output out;
+
+  Branch branches[2];
+  const std::vector<int>* blocks[2] = {&b0, &b1};
+  for (int i = 0; i < 2; ++i) {
+    branches[i].sys = runtime::replay(factory, base);
+    branches[i].block = *blocks[i];
+    std::sort(branches[i].block.begin(), branches[i].block.end());
+    block_write(*branches[i].sys, branches[i].block);
+    branches[i].add(idle_procs[static_cast<std::size_t>(i)], covered,
+                    solo_cap);
+  }
+
+  // Inductive extension: place each further idle process on a branch whose
+  // last process is known to write outside R (Lemma 2.1 guarantees one).
+  for (std::size_t k = 2; k < idle_procs.size(); ++k) {
+    int j;
+    if (branches[0].last_poised_outside && branches[1].last_poised_outside) {
+      j = branches[0].participants.size() <= branches[1].participants.size()
+              ? 0
+              : 1;
+    } else if (branches[0].last_poised_outside) {
+      j = 0;
+    } else if (branches[1].last_poised_outside) {
+      j = 1;
+    } else {
+      out.branch_checks_ok = false;  // would falsify Lemma 2.1
+      break;
+    }
+    branches[j].add(idle_procs[k], covered, solo_cap);
+  }
+
+  // Final application: the branch whose last process writes outside R keeps
+  // it (paused, poised outside); the other branch drops its last process
+  // entirely.
+  int j;
+  if (branches[0].last_poised_outside) {
+    j = 0;
+  } else if (branches[1].last_poised_outside) {
+    j = 1;
+  } else {
+    out.branch_checks_ok = false;
+    j = 0;
+  }
+  Schedule sigma[2] = {branches[0].delta, branches[1].delta};
+  std::vector<int> parts[2] = {branches[0].participants,
+                               branches[1].participants};
+  const int dropped = 1 - j;
+  if (!parts[dropped].empty()) {
+    strip_last_segment(sigma[dropped], branches[dropped].last_pid);
+    parts[dropped].pop_back();
+  }
+
+  // Relabel so the larger half runs first (paper: |sigma| >= |sigma'|).
+  const int first = parts[j].size() >= parts[dropped].size() ? j : dropped;
+  const int second = 1 - first;
+
+  out.fragment.insert(out.fragment.end(), branches[first].block.begin(),
+                      branches[first].block.end());
+  out.first_block_end = out.fragment.size();
+  out.fragment.insert(out.fragment.end(), sigma[first].begin(),
+                      sigma[first].end());
+  out.second_block_begin = out.fragment.size();
+  out.fragment.insert(out.fragment.end(), branches[second].block.begin(),
+                      branches[second].block.end());
+  out.second_block_end = out.fragment.size();
+  out.fragment.insert(out.fragment.end(), sigma[second].begin(),
+                      sigma[second].end());
+  out.sigma_participants = parts[first];
+  out.sigma_prime_participants = parts[second];
+
+  // Verify the post-condition on a fresh replay of the combined schedule:
+  // every participant ends poised to write outside R (Lemma 4.1 (b)).
+  if (out.branch_checks_ok) {
+    auto sys = runtime::replay(factory, base);
+    runtime::run_script(*sys, out.fragment);
+    for (const auto& plist : {out.sigma_participants,
+                              out.sigma_prime_participants}) {
+      for (int pid : plist) {
+        const runtime::PendingOp op = sys->pending(pid);
+        if (!(op.is_write() && !covered.contains(op.reg))) {
+          out.postcondition_ok = false;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string OneShotBuildResult::summary() const {
+  std::ostringstream os;
+  os << "n=" << n << " m=" << m << " j_last=" << j_last
+     << " l_last=" << l_last << " case2=" << case2_count
+     << " covered=" << registers_covered << " written=" << registers_written
+     << " steps=" << schedule.size() << " stop=" << stop_reason
+     << " checks=" << (all_checks_ok ? "ok" : "FAILED");
+  return os.str();
+}
+
+OneShotBuildResult build_oneshot_covering(const SystemFactory& factory, int n,
+                                          const OneShotBuilderOptions& opts) {
+  OneShotBuildResult result;
+  result.n = n;
+  result.m = static_cast<int>(util::bounds::oneshot_grid_m(n));
+  const int m = result.m;
+
+  Schedule base;
+  std::unordered_set<int> covered_set;
+  std::vector<int> covered_regs;
+  int j = 0;
+  int l = m;
+
+  // ---- initial step: Lemma 4.1 from C0 with empty block writes ----------
+  {
+    auto probe = factory();
+    std::vector<int> all_procs;
+    for (int p = 0; p < probe->num_processes(); ++p) all_procs.push_back(p);
+    Lemma41Output out = apply_lemma41(factory, base, {}, {}, covered_set,
+                                      all_procs, opts.solo_cap);
+    result.all_checks_ok &= out.branch_checks_ok && out.postcondition_ok;
+
+    // Walk the fragment to the shortest prefix where a column reaches the
+    // stepped diagonal: exists j1 >= 1 with ordSig[j1-1] >= m - j1.
+    auto sys = runtime::replay(factory, base);
+    std::size_t prefix = 0;
+    int j1 = 0;
+    for (std::size_t idx = 0; idx < out.fragment.size(); ++idx) {
+      sys->step(out.fragment[idx]);
+      const std::vector<int> ord = ordered_signature(*sys);
+      const int dc = diagonal_column(ord, m);
+      if (dc >= 1) {
+        j1 = dc;
+        prefix = idx + 1;
+        break;
+      }
+    }
+    if (j1 == 0) {
+      result.stop_reason = "initial-diagonal-unreachable";
+      result.schedule = base;
+      return result;
+    }
+    base.insert(base.end(), out.fragment.begin(),
+                out.fragment.begin() + static_cast<std::ptrdiff_t>(prefix));
+    covered_regs = top_covered_registers(*sys, j1);
+    covered_set = std::unordered_set<int>(covered_regs.begin(),
+                                          covered_regs.end());
+    j = j1;
+    l = m;
+
+    OneShotBuildStep step;
+    step.round = 0;
+    step.case_kind = 0;
+    step.nu = j1;
+    step.j_after = j;
+    step.l_after = l;
+    step.idle_after = static_cast<int>(idle_pids(*sys).size());
+    step.schedule_length = base.size();
+    step.ordered_sig = ordered_signature(*sys);
+    result.steps.push_back(std::move(step));
+  }
+
+  // ---- extension rounds ---------------------------------------------------
+  int round = 1;
+  while (round <= opts.max_rounds) {
+    if (l - j < 3) {
+      result.stop_reason = "l-j<=2";
+      break;
+    }
+    auto sys = runtime::replay(factory, base);
+    const std::vector<int> idle = idle_pids(*sys);
+    if (idle.size() < 2) {
+      result.stop_reason = "idle<2";
+      break;
+    }
+    auto triples = choose_disjoint_covering_sets(*sys, covered_regs, 3);
+    if (!triples.has_value()) {
+      result.stop_reason = "covering-depleted";
+      break;
+    }
+    // (*triples)[2] is the reserved third covering set B2 required by
+    // Lemma 2.1; it is never scheduled.
+    Lemma41Output out =
+        apply_lemma41(factory, base, (*triples)[0], (*triples)[1],
+                      covered_set, idle, opts.solo_cap);
+    result.all_checks_ok &= out.branch_checks_ok && out.postcondition_ok;
+    if (!out.branch_checks_ok) {
+      result.stop_reason = "lemma-branch-failed";
+      break;
+    }
+
+    // Walk to the shortest prefix where a non-empty Q outside R reaches the
+    // diagonal: nu registers outside R each covered by >= l - j - nu.
+    auto walk = runtime::replay(factory, base);
+    std::size_t prefix = 0;
+    int nu = 0;
+    std::vector<int> q_regs;
+    for (std::size_t idx = 0; idx < out.fragment.size(); ++idx) {
+      walk->step(out.fragment[idx]);
+      // Cover counts of registers outside R, sorted descending.
+      const std::vector<int> sig = signature(*walk);
+      std::vector<std::pair<int, int>> outside;  // (count, reg)
+      for (std::size_t r = 0; r < sig.size(); ++r) {
+        if (!covered_set.contains(static_cast<int>(r)) && sig[r] > 0) {
+          outside.emplace_back(sig[r], static_cast<int>(r));
+        }
+      }
+      std::sort(outside.begin(), outside.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      for (int candidate = 1;
+           candidate <= static_cast<int>(outside.size()) && nu == 0;
+           ++candidate) {
+        const int threshold = std::max(1, l - j - candidate);
+        if (outside[static_cast<std::size_t>(candidate - 1)].first >=
+            threshold) {
+          nu = candidate;
+          for (int c = 0; c < candidate; ++c) {
+            q_regs.push_back(outside[static_cast<std::size_t>(c)].second);
+          }
+        }
+      }
+      if (nu > 0) {
+        prefix = idx + 1;
+        break;
+      }
+    }
+    if (nu == 0) {
+      result.stop_reason = "no-extension";
+      break;
+    }
+
+    // Case analysis (paper Figure 2): Case 2 iff the prefix runs past the
+    // second block write AND only one new column reached the diagonal.
+    const bool one_block = prefix <= out.second_block_begin;
+    const int case_kind = (one_block || nu >= 2) ? 1 : 2;
+    if (case_kind == 2) {
+      ++result.case2_count;
+      --l;
+    }
+
+    base.insert(base.end(), out.fragment.begin(),
+                out.fragment.begin() + static_cast<std::ptrdiff_t>(prefix));
+    for (int r : q_regs) {
+      covered_regs.push_back(r);
+      covered_set.insert(r);
+    }
+    j += nu;
+
+    OneShotBuildStep step;
+    step.round = round;
+    step.case_kind = case_kind;
+    step.nu = nu;
+    step.j_after = j;
+    step.l_after = l;
+    step.idle_after = static_cast<int>(idle_pids(*walk).size());
+    step.schedule_length = base.size();
+    step.ordered_sig = ordered_signature(*walk);
+    result.steps.push_back(std::move(step));
+    ++round;
+  }
+  if (result.stop_reason.empty()) result.stop_reason = "max-rounds";
+
+  // Final configuration statistics.
+  auto final_sys = runtime::replay(factory, base);
+  result.schedule = base;
+  result.j_last = j;
+  result.l_last = l;
+  result.final_ordered_sig = ordered_signature(*final_sys);
+  result.registers_covered = static_cast<int>(std::count_if(
+      result.final_ordered_sig.begin(), result.final_ordered_sig.end(),
+      [](int s) { return s > 0; }));
+  result.registers_written = final_sys->registers_written();
+  return result;
+}
+
+}  // namespace stamped::adversary

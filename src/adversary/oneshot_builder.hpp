@@ -1,0 +1,107 @@
+// The Section 4 lower-bound construction, executable.
+//
+// Given any (correct, deterministic) one-shot timestamp implementation, this
+// builder constructs the execution of Theorem 1.2's proof:
+//
+//  1. Lemma 4.1 (realized constructively in apply_lemma41): from a
+//     configuration where B0, B1 cover R (with a third disjoint covering set
+//     reserved), all but one of a set U of idle processes can be paused
+//     covering registers *outside* R, using at most two block writes. The
+//     proof's existential branch choices ("there exists i in {0,1}") are
+//     resolved by testing both branches via deterministic replay.
+//
+//  2. The outer induction: starting from C0, repeatedly apply Lemma 4.1 and
+//     cut the resulting schedule at the *shortest prefix* where some new set
+//     Q of registers outside R reaches the stepped diagonal of the covering
+//     grid (each register of Q covered by >= l - j - |Q| processes). Case 1
+//     keeps the constraint l; Case 2 (one new column after two block writes)
+//     lowers l by one and can occur at most log2(n) times, since it consumes
+//     at least half of the remaining idle processes (paper Figure 2).
+//
+// The builder records the grid after every extension (paper Figures 1 and 2)
+// and the final statistics (j_last >= m - log n - 2 when it stops because
+// l - j <= 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace stamped::adversary {
+
+/// Output of one constructive Lemma 4.1 application.
+struct Lemma41Output {
+  /// The schedule fragment beta sigma beta' sigma' (to append to the base
+  /// schedule). Block writes included.
+  runtime::Schedule fragment;
+  /// Participants of sigma (run first, the larger half) and sigma'.
+  std::vector<int> sigma_participants;
+  std::vector<int> sigma_prime_participants;
+  /// Offsets into `fragment`: [0, first_block_end) is beta,
+  /// [second_block_begin, second_block_end) is beta'.
+  std::size_t first_block_end = 0;
+  std::size_t second_block_begin = 0;
+  std::size_t second_block_end = 0;
+  /// Every Lemma 2.1-style branch test found a branch (must hold for correct
+  /// implementations).
+  bool branch_checks_ok = true;
+  /// Post-condition verified on the final replay: every participant is
+  /// poised to write outside R.
+  bool postcondition_ok = true;
+};
+
+/// Constructive Lemma 4.1. `base` reaches C from C0; `b0`/`b1` are disjoint
+/// covering sets of `covered` in C (a third disjoint covering set must exist
+/// but is not executed); `idle_procs` is U (|U| >= 2), all idle in C.
+Lemma41Output apply_lemma41(const runtime::SystemFactory& factory,
+                            const runtime::Schedule& base,
+                            const std::vector<int>& b0,
+                            const std::vector<int>& b1,
+                            const std::unordered_set<int>& covered,
+                            const std::vector<int>& idle_procs,
+                            std::uint64_t solo_cap);
+
+/// One extension round of the outer construction.
+struct OneShotBuildStep {
+  int round = 0;
+  int case_kind = 0;  ///< 0: initial step; 1/2: paper Figure 2 cases
+  int nu = 0;         ///< number of new diagonal columns (|Q|)
+  int j_after = 0;
+  int l_after = 0;
+  int idle_after = 0;
+  std::size_t schedule_length = 0;
+  std::vector<int> ordered_sig;  ///< at the new configuration
+};
+
+struct OneShotBuildResult {
+  int n = 0;
+  int m = 0;  ///< grid width floor(sqrt(2n))
+  int j_last = 0;
+  int l_last = 0;
+  int case2_count = 0;          ///< delta; paper: <= log2 n
+  int registers_covered = 0;    ///< registers covered in the final config
+  int registers_written = 0;    ///< distinct registers written en route
+  std::vector<OneShotBuildStep> steps;
+  runtime::Schedule schedule;   ///< reaches the final configuration from C0
+  std::vector<int> final_ordered_sig;
+  std::string stop_reason;
+  bool all_checks_ok = true;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+struct OneShotBuilderOptions {
+  std::uint64_t solo_cap = 200000;
+  int max_rounds = 1 << 20;
+};
+
+/// Runs the full Section 4 construction against the implementation produced
+/// by `factory` (n one-shot processes).
+OneShotBuildResult build_oneshot_covering(
+    const runtime::SystemFactory& factory, int n,
+    const OneShotBuilderOptions& opts = {});
+
+}  // namespace stamped::adversary

@@ -1,0 +1,273 @@
+// Real-thread register backend.
+//
+// AtomicMemory<V> is an array of atomic multi-writer multi-reader registers
+// backed by std::atomic. The same coroutine algorithms that run on the
+// simulator run here unchanged: DirectCtx's awaiters complete immediately
+// (await_ready() == true), so a getTS coroutine executes synchronously on
+// the calling thread with every register access compiled down to an atomic
+// load/store.
+//
+// Storage (CP.100 note: this is the library's only lock-free code):
+//  - trivially-copyable V of at most 8 bytes: a plain std::atomic<V>;
+//  - anything else (e.g. core::TsRecord): an atomic pointer to an immutable
+//    heap node. Writers allocate a node, exchange it in, and push the old
+//    node onto a Treiber retirement stack that is reclaimed only on
+//    destruction, so readers can dereference without hazard tracking.
+//    Memory use grows with the number of writes, which is bounded in every
+//    benchmark and test (Algorithm 4 performs at most m writes per call).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/coro.hpp"
+#include "util/assert.hpp"
+
+namespace stamped::atomicmem {
+
+namespace detail {
+
+template <class V>
+inline constexpr bool kInlineAtomic =
+    std::is_trivially_copyable_v<V> && sizeof(V) <= 8;
+
+/// Lock-free cell for small trivially copyable values.
+template <class V, bool Inline = kInlineAtomic<V>>
+class AtomicCell {
+ public:
+  explicit AtomicCell(const V& initial) : value_(initial) {}
+
+  // seq_cst throughout: the paper's model is *atomic* (linearizable)
+  // registers, and clients like the bakery lock rely on store-load ordering
+  // that acquire/release does not provide.
+  [[nodiscard]] V load() const {
+    return value_.load(std::memory_order_seq_cst);
+  }
+  void store(V v) { value_.store(v, std::memory_order_seq_cst); }
+  [[nodiscard]] V exchange(V v) {
+    return value_.exchange(v, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<V> value_;
+};
+
+/// Pointer-swap cell for arbitrary (copyable) values. Old nodes are retired
+/// to a Treiber stack and freed on destruction.
+template <class V>
+class AtomicCell<V, false> {
+ public:
+  explicit AtomicCell(const V& initial)
+      : current_(new Node{initial, nullptr}) {}
+
+  AtomicCell(const AtomicCell&) = delete;
+  AtomicCell& operator=(const AtomicCell&) = delete;
+
+  ~AtomicCell() {
+    delete current_.load(std::memory_order_relaxed);
+    Node* node = retired_.load(std::memory_order_relaxed);
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
+  [[nodiscard]] V load() const {
+    return current_.load(std::memory_order_seq_cst)->value;
+  }
+
+  void store(V v) { retire(swap_in(std::move(v))); }
+
+  [[nodiscard]] V exchange(V v) {
+    Node* old = swap_in(std::move(v));
+    V result = old->value;
+    retire(old);
+    return result;
+  }
+
+ private:
+  struct Node {
+    V value;
+    Node* next;
+  };
+
+  Node* swap_in(V v) {
+    Node* fresh = new Node{std::move(v), nullptr};
+    return current_.exchange(fresh, std::memory_order_seq_cst);
+  }
+
+  void retire(Node* node) {
+    Node* head = retired_.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!retired_.compare_exchange_weak(head, node,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+  }
+
+  std::atomic<Node*> current_;
+  std::atomic<Node*> retired_{nullptr};
+};
+
+}  // namespace detail
+
+/// An array of atomic MWMR registers for real-thread executions.
+template <class V>
+class AtomicMemory {
+ public:
+  AtomicMemory(int num_registers, const V& initial) {
+    STAMPED_ASSERT(num_registers > 0);
+    cells_.reserve(static_cast<std::size_t>(num_registers));
+    for (int i = 0; i < num_registers; ++i) {
+      cells_.push_back(std::make_unique<detail::AtomicCell<V>>(initial));
+    }
+  }
+
+  [[nodiscard]] int num_registers() const {
+    return static_cast<int>(cells_.size());
+  }
+
+  [[nodiscard]] V read(int reg) const { return cell(reg).load(); }
+  void write(int reg, V v) { cell(reg).store(std::move(v)); }
+  [[nodiscard]] V swap(int reg, V v) {
+    return cell(reg).exchange(std::move(v));
+  }
+
+ private:
+  detail::AtomicCell<V>& cell(int reg) {
+    STAMPED_ASSERT(reg >= 0 && reg < num_registers());
+    return *cells_[static_cast<std::size_t>(reg)];
+  }
+  const detail::AtomicCell<V>& cell(int reg) const {
+    STAMPED_ASSERT(reg >= 0 && reg < num_registers());
+    return *cells_[static_cast<std::size_t>(reg)];
+  }
+
+  std::vector<std::unique_ptr<detail::AtomicCell<V>>> cells_;
+};
+
+/// Memory context for real threads: same interface as runtime::SimCtx, but
+/// every awaiter is immediately ready, so coroutines never suspend.
+template <class V>
+class DirectCtx {
+ public:
+  using Value = V;
+
+  DirectCtx(AtomicMemory<V>* mem, int pid, std::atomic<std::uint64_t>* clock)
+      : mem_(mem), pid_(pid), clock_(clock) {}
+
+  [[nodiscard]] int pid() const { return pid_; }
+  [[nodiscard]] int num_registers() const { return mem_->num_registers(); }
+
+  struct ValueAwaiter {
+    V v;
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    V await_resume() { return std::move(v); }
+  };
+  struct VoidAwaiter {
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] ValueAwaiter read(int reg) {
+    bump();
+    return {mem_->read(reg)};
+  }
+  [[nodiscard]] VoidAwaiter write(int reg, V v) {
+    bump();
+    mem_->write(reg, std::move(v));
+    return {};
+  }
+  [[nodiscard]] ValueAwaiter swap(int reg, V v) {
+    bump();
+    return {mem_->swap(reg, std::move(v))};
+  }
+
+  std::uint64_t stamp() {
+    return clock_->fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+  [[nodiscard]] std::uint64_t steps_now() const {
+    return clock_->load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t my_steps() const { return ops_; }
+  void note_call_complete() { ++calls_; }
+  [[nodiscard]] std::uint64_t calls_completed() const { return calls_; }
+
+ private:
+  void bump() {
+    ++ops_;
+    clock_->fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  AtomicMemory<V>* mem_;
+  int pid_;
+  std::atomic<std::uint64_t>* clock_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t calls_ = 0;
+};
+
+/// Runs one program per thread against a shared AtomicMemory. Each thread
+/// constructs its coroutine and resumes it once; with DirectCtx the coroutine
+/// runs to completion synchronously. Propagates the first program exception.
+template <class V>
+class ThreadedHarness {
+ public:
+  using Program = std::function<runtime::ProcessTask(DirectCtx<V>&)>;
+
+  ThreadedHarness(int num_registers, const V& initial)
+      : mem_(num_registers, initial) {}
+
+  [[nodiscard]] AtomicMemory<V>& memory() { return mem_; }
+  [[nodiscard]] std::uint64_t clock() const {
+    return clock_.load(std::memory_order_acquire);
+  }
+
+  /// Runs all programs concurrently (programs[i] gets pid i); returns after
+  /// every thread joined. Throws the first captured exception, if any.
+  void run(const std::vector<Program>& programs) {
+    const int n = static_cast<int>(programs.size());
+    std::vector<std::unique_ptr<DirectCtx<V>>> ctxs;
+    ctxs.reserve(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      ctxs.push_back(std::make_unique<DirectCtx<V>>(&mem_, p, &clock_));
+    }
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(static_cast<std::size_t>(n));
+      for (int p = 0; p < n; ++p) {
+        threads.emplace_back([&, p] {
+          try {
+            runtime::ProcessTask task =
+                programs[static_cast<std::size_t>(p)](*ctxs[static_cast<std::size_t>(p)]);
+            task.handle().resume();
+            STAMPED_ASSERT_MSG(task.done(),
+                               "program suspended under DirectCtx");
+            if (task.exception()) {
+              errors[static_cast<std::size_t>(p)] = task.exception();
+            }
+          } catch (...) {
+            errors[static_cast<std::size_t>(p)] = std::current_exception();
+          }
+        });
+      }
+    }
+    for (auto& err : errors) {
+      if (err) std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  AtomicMemory<V> mem_;
+  std::atomic<std::uint64_t> clock_{0};
+};
+
+}  // namespace stamped::atomicmem

@@ -1,0 +1,109 @@
+#include "clocks/lamport_clock.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace stamped::clocks {
+
+MessagePassingRun::MessagePassingRun(int num_processes)
+    : lamport_(static_cast<std::size_t>(num_processes)),
+      vector_(static_cast<std::size_t>(num_processes),
+              std::vector<std::uint64_t>(
+                  static_cast<std::size_t>(num_processes), 0)) {
+  STAMPED_ASSERT(num_processes >= 1);
+}
+
+int MessagePassingRun::num_processes() const {
+  return static_cast<int>(lamport_.size());
+}
+
+int MessagePassingRun::append(MpEvent ev) {
+  const auto pid = static_cast<std::size_t>(ev.pid);
+  // Program-order predecessor: the previous event of the same process.
+  std::vector<int> preds;
+  for (int i = static_cast<int>(events_.size()) - 1; i >= 0; --i) {
+    if (events_[static_cast<std::size_t>(i)].pid == ev.pid) {
+      preds.push_back(i);
+      break;
+    }
+  }
+  if (ev.kind == MpEvent::Kind::kReceive) preds.push_back(ev.match);
+
+  ev.index = static_cast<int>(std::count_if(
+      events_.begin(), events_.end(),
+      [&](const MpEvent& e) { return e.pid == ev.pid; }));
+  ev.vector_time = vector_[pid];
+  events_.push_back(std::move(ev));
+  preds_.push_back(std::move(preds));
+  return static_cast<int>(events_.size()) - 1;
+}
+
+int MessagePassingRun::local(int pid) {
+  STAMPED_ASSERT(pid >= 0 && pid < num_processes());
+  const auto upid = static_cast<std::size_t>(pid);
+  MpEvent ev;
+  ev.pid = pid;
+  ev.kind = MpEvent::Kind::kLocal;
+  ev.lamport = lamport_[upid].tick();
+  ++vector_[upid][upid];
+  return append(std::move(ev));
+}
+
+int MessagePassingRun::send(int pid, int dst) {
+  STAMPED_ASSERT(pid >= 0 && pid < num_processes());
+  STAMPED_ASSERT(dst >= 0 && dst < num_processes() && dst != pid);
+  const auto upid = static_cast<std::size_t>(pid);
+  MpEvent ev;
+  ev.pid = pid;
+  ev.kind = MpEvent::Kind::kSend;
+  ev.peer = dst;
+  ev.lamport = lamport_[upid].tick();
+  ++vector_[upid][upid];
+  return append(std::move(ev));
+}
+
+int MessagePassingRun::receive(int send_index) {
+  STAMPED_ASSERT(send_index >= 0 &&
+                 send_index < static_cast<int>(events_.size()));
+  const MpEvent& snd = events_[static_cast<std::size_t>(send_index)];
+  STAMPED_ASSERT_MSG(snd.kind == MpEvent::Kind::kSend,
+                     "receive() must reference a send event");
+  const int pid = snd.peer;
+  const auto upid = static_cast<std::size_t>(pid);
+  MpEvent ev;
+  ev.pid = pid;
+  ev.kind = MpEvent::Kind::kReceive;
+  ev.peer = snd.pid;
+  ev.match = send_index;
+  ev.lamport = lamport_[upid].on_receive(snd.lamport);
+  // Vector clock receive rule: component-wise max with the piggybacked
+  // vector, then tick own component. The piggybacked vector is the sender's
+  // vector *after* the send event.
+  std::vector<std::uint64_t> piggy = snd.vector_time;
+  const auto spid = static_cast<std::size_t>(snd.pid);
+  for (std::size_t i = 0; i < piggy.size(); ++i) {
+    vector_[upid][i] = std::max(vector_[upid][i], piggy[i]);
+  }
+  (void)spid;
+  ++vector_[upid][upid];
+  return append(std::move(ev));
+}
+
+bool MessagePassingRun::happens_before(int a, int b) const {
+  if (a == b) return false;
+  // BFS over predecessor edges from b.
+  std::vector<bool> seen(events_.size(), false);
+  std::vector<int> stack = preds_[static_cast<std::size_t>(b)];
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    if (cur == a) return true;
+    if (seen[static_cast<std::size_t>(cur)]) continue;
+    seen[static_cast<std::size_t>(cur)] = true;
+    for (int p : preds_[static_cast<std::size_t>(cur)]) stack.push_back(p);
+  }
+  return false;
+}
+
+}  // namespace stamped::clocks

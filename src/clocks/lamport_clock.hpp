@@ -1,0 +1,77 @@
+// Lamport's logical clock (CACM 1978) — the origin of the timestamping idea
+// the paper studies. Assigns an integer C(e) to each event so that
+// e1 happens-before e2 implies C(e1) < C(e2) (the converse need not hold).
+//
+// This module also provides a tiny message-passing event simulator used by
+// the event-ordering example and the clocks tests: processes emit local
+// events and exchange messages; the happens-before relation is defined by
+// program order plus send->receive edges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stamped::clocks {
+
+/// The scalar logical clock of one process.
+class LamportClock {
+ public:
+  /// Local event (or message send): advance and return the new time.
+  std::uint64_t tick() { return ++time_; }
+
+  /// Message receipt carrying the sender's timestamp.
+  std::uint64_t on_receive(std::uint64_t msg_time) {
+    time_ = (msg_time > time_ ? msg_time : time_) + 1;
+    return time_;
+  }
+
+  [[nodiscard]] std::uint64_t now() const { return time_; }
+
+ private:
+  std::uint64_t time_ = 0;
+};
+
+/// An event in the message-passing simulator.
+struct MpEvent {
+  enum class Kind { kLocal, kSend, kReceive };
+  int pid = -1;
+  int index = -1;          ///< per-process sequence number (program order)
+  Kind kind = Kind::kLocal;
+  int peer = -1;           ///< send: destination; receive: source
+  int match = -1;          ///< receive: global index of the matching send
+  std::uint64_t lamport = 0;
+  std::vector<std::uint64_t> vector_time;
+};
+
+/// Deterministic message-passing run: a script of events (sends must precede
+/// their receives). Computes Lamport and vector timestamps for every event.
+class MessagePassingRun {
+ public:
+  explicit MessagePassingRun(int num_processes);
+
+  /// Appends a local event for pid; returns the global event index.
+  int local(int pid);
+  /// Appends a send from pid to dst; returns the global event index.
+  int send(int pid, int dst);
+  /// Appends the receipt by dst of the send with global index send_index.
+  int receive(int send_index);
+
+  [[nodiscard]] const std::vector<MpEvent>& events() const { return events_; }
+  [[nodiscard]] int num_processes() const;
+
+  /// Ground-truth happens-before: reflexive-transitive closure of program
+  /// order and send->receive edges, queried as "a strictly before b".
+  [[nodiscard]] bool happens_before(int a, int b) const;
+
+ private:
+  int append(MpEvent ev);
+
+  std::vector<LamportClock> lamport_;
+  std::vector<std::vector<std::uint64_t>> vector_;
+  std::vector<MpEvent> events_;
+  // predecessors for the happens-before closure (program order + message)
+  std::vector<std::vector<int>> preds_;
+};
+
+}  // namespace stamped::clocks

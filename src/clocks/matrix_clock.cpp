@@ -1,0 +1,73 @@
+#include "clocks/matrix_clock.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace stamped::clocks {
+
+MatrixClock::MatrixClock(int num_processes)
+    : rows_(static_cast<std::size_t>(num_processes),
+            VectorClock(num_processes)) {
+  STAMPED_ASSERT(num_processes >= 1);
+}
+
+void MatrixClock::tick(int pid) {
+  STAMPED_ASSERT(pid >= 0 && pid < size());
+  rows_[static_cast<std::size_t>(pid)].tick(pid);
+}
+
+void MatrixClock::merge_and_tick(int pid, int sender,
+                                 const MatrixClock& sender_matrix) {
+  STAMPED_ASSERT(sender_matrix.size() == size());
+  STAMPED_ASSERT(pid >= 0 && pid < size());
+  STAMPED_ASSERT(sender >= 0 && sender < size());
+  for (int i = 0; i < size(); ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    std::vector<std::uint64_t> merged = rows_[ui].components();
+    const auto& theirs = sender_matrix.rows_[ui].components();
+    for (std::size_t c = 0; c < merged.size(); ++c) {
+      merged[c] = std::max(merged[c], theirs[c]);
+    }
+    rows_[ui] = VectorClock(std::move(merged));
+  }
+  // Own row also absorbs the sender's own row (its vector knowledge).
+  const auto upid = static_cast<std::size_t>(pid);
+  std::vector<std::uint64_t> own = rows_[upid].components();
+  const auto& sender_row =
+      sender_matrix.rows_[static_cast<std::size_t>(sender)].components();
+  for (std::size_t c = 0; c < own.size(); ++c) {
+    own[c] = std::max(own[c], sender_row[c]);
+  }
+  rows_[upid] = VectorClock(std::move(own));
+  rows_[upid].tick(pid);
+}
+
+const VectorClock& MatrixClock::row(int pid) const {
+  STAMPED_ASSERT(pid >= 0 && pid < size());
+  return rows_[static_cast<std::size_t>(pid)];
+}
+
+VectorClock MatrixClock::watermark() const {
+  STAMPED_ASSERT(size() >= 1);
+  std::vector<std::uint64_t> mins = rows_[0].components();
+  for (int i = 1; i < size(); ++i) {
+    const auto& comps = rows_[static_cast<std::size_t>(i)].components();
+    for (std::size_t c = 0; c < mins.size(); ++c) {
+      mins[c] = std::min(mins[c], comps[c]);
+    }
+  }
+  return VectorClock(std::move(mins));
+}
+
+std::string MatrixClock::repr() const {
+  std::ostringstream os;
+  for (int i = 0; i < size(); ++i) {
+    os << rows_[static_cast<std::size_t>(i)].repr();
+    if (i + 1 < size()) os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace stamped::clocks

@@ -1,0 +1,43 @@
+// Matrix clocks (Wuu & Bernstein 1986, Sarin & Lynch 1987): each process
+// maintains an n x n matrix M where row i is its best knowledge of process
+// i's vector clock. The column-wise minimum gives a global watermark — every
+// process is known to have seen events up to it — used to discard obsolete
+// information (the replicated-log/dictionary problem).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clocks/vector_clock.hpp"
+
+namespace stamped::clocks {
+
+class MatrixClock {
+ public:
+  MatrixClock() = default;
+  explicit MatrixClock(int num_processes);
+
+  /// Local event at `pid`: tick own row's own component.
+  void tick(int pid);
+
+  /// Receive rule at `pid` from `sender` with the sender's matrix:
+  /// row-wise component-wise max, own row additionally merged with the
+  /// sender's row (the sender's vector knowledge), then tick own component.
+  void merge_and_tick(int pid, int sender, const MatrixClock& sender_matrix);
+
+  /// Process `pid`'s own vector clock (row pid).
+  [[nodiscard]] const VectorClock& row(int pid) const;
+
+  /// Watermark: component-wise minimum over all rows. An event with vector
+  /// time <= watermark in every component is known to all processes.
+  [[nodiscard]] VectorClock watermark() const;
+
+  [[nodiscard]] int size() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] std::string repr() const;
+
+ private:
+  std::vector<VectorClock> rows_;
+};
+
+}  // namespace stamped::clocks

@@ -1,0 +1,71 @@
+#include "clocks/vector_clock.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace stamped::clocks {
+
+const char* ordering_name(Ordering o) {
+  switch (o) {
+    case Ordering::kBefore: return "before";
+    case Ordering::kAfter: return "after";
+    case Ordering::kConcurrent: return "concurrent";
+    case Ordering::kEqual: return "equal";
+  }
+  return "?";
+}
+
+VectorClock::VectorClock(int num_processes)
+    : components_(static_cast<std::size_t>(num_processes), 0) {
+  STAMPED_ASSERT(num_processes >= 1);
+}
+
+VectorClock::VectorClock(std::vector<std::uint64_t> components)
+    : components_(std::move(components)) {}
+
+void VectorClock::tick(int pid) {
+  STAMPED_ASSERT(pid >= 0 && pid < size());
+  ++components_[static_cast<std::size_t>(pid)];
+}
+
+void VectorClock::merge_and_tick(int pid, const VectorClock& other) {
+  STAMPED_ASSERT(other.size() == size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i] = std::max(components_[i], other.components_[i]);
+  }
+  tick(pid);
+}
+
+Ordering VectorClock::compare(const VectorClock& a, const VectorClock& b) {
+  STAMPED_ASSERT(a.size() == b.size());
+  bool a_lt = false;
+  bool b_lt = false;
+  for (std::size_t i = 0; i < a.components_.size(); ++i) {
+    if (a.components_[i] < b.components_[i]) a_lt = true;
+    if (b.components_[i] < a.components_[i]) b_lt = true;
+  }
+  if (a_lt && b_lt) return Ordering::kConcurrent;
+  if (a_lt) return Ordering::kBefore;
+  if (b_lt) return Ordering::kAfter;
+  return Ordering::kEqual;
+}
+
+std::uint64_t VectorClock::component(int pid) const {
+  STAMPED_ASSERT(pid >= 0 && pid < size());
+  return components_[static_cast<std::size_t>(pid)];
+}
+
+std::string VectorClock::repr() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << components_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace stamped::clocks

@@ -1,0 +1,55 @@
+// Vector clocks (Fidge 1988, Mattern 1989): the extension of Lamport's
+// integer clock that *characterizes* happens-before: VC(e1) < VC(e2) iff
+// e1 happens before e2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stamped::clocks {
+
+/// The four possible relations between two vector timestamps.
+enum class Ordering { kBefore, kAfter, kConcurrent, kEqual };
+
+[[nodiscard]] const char* ordering_name(Ordering o);
+
+/// A vector timestamp / per-process vector clock.
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(int num_processes);
+  VectorClock(std::vector<std::uint64_t> components);
+
+  /// Advance own component (local or send event).
+  void tick(int pid);
+
+  /// Receive rule: component-wise max with `other`, then tick(pid).
+  void merge_and_tick(int pid, const VectorClock& other);
+
+  /// Compares two vector timestamps.
+  [[nodiscard]] static Ordering compare(const VectorClock& a,
+                                        const VectorClock& b);
+
+  /// a happens-before b (strictly less in the component-wise order).
+  [[nodiscard]] static bool before(const VectorClock& a,
+                                   const VectorClock& b) {
+    return compare(a, b) == Ordering::kBefore;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& components() const {
+    return components_;
+  }
+  [[nodiscard]] std::uint64_t component(int pid) const;
+  [[nodiscard]] int size() const {
+    return static_cast<int>(components_.size());
+  }
+  [[nodiscard]] std::string repr() const;
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::vector<std::uint64_t> components_;
+};
+
+}  // namespace stamped::clocks

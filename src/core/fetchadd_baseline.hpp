@@ -1,0 +1,32 @@
+// Throughput baseline: a timestamp object built from a single fetch&add
+// primitive instead of read/write registers.
+//
+// This is NOT a register implementation — the paper's model allows only
+// atomic read/write — so it is outside the lower bounds entirely. The
+// throughput benchmark (T5) uses it to show what a stronger primitive buys
+// and to put the register algorithms' costs in context.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace stamped::core {
+
+/// Wait-free long-lived timestamps from one fetch&add word.
+class FetchAddTimestamp {
+ public:
+  /// Returns a strictly increasing timestamp (per object).
+  [[nodiscard]] std::int64_t getts() {
+    return counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// compare(t1, t2) — as everywhere, plain <.
+  [[nodiscard]] static bool compare(std::int64_t a, std::int64_t b) {
+    return a < b;
+  }
+
+ private:
+  std::atomic<std::int64_t> counter_{0};
+};
+
+}  // namespace stamped::core

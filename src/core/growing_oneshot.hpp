@@ -1,0 +1,56 @@
+// Section 7 extension: Algorithm 4 without an a-priori bound on the number of
+// getTS invocations.
+//
+// The paper remarks that the one-shot algorithm "generalizes even to the
+// situation where the number of getTS() method invocations is not bounded,
+// provided that the system could acquire additional registers as needed",
+// with progress degrading from wait-free to non-blocking.
+//
+// In the simulator, register acquisition is modeled by a pre-allocated pool
+// that is provably large enough for the actual number of invocations issued
+// (Phi <= M phases can ever start, since each getTS performs at most one
+// scan, so M + 2 registers always suffice); the algorithm itself never reads
+// past the first ⊥ register, so the pool size is unobservable to it — exactly
+// as if registers were materialized on demand.
+#pragma once
+
+#include <memory>
+
+#include "core/sqrt_oneshot.hpp"
+
+namespace stamped::core {
+
+/// A safe register pool size for `total_calls` invocations: each call starts
+/// at most one phase, so at most total_calls + 1 registers can ever become
+/// non-⊥; one extra ⊥ sentinel terminates the initial while-loop.
+[[nodiscard]] constexpr int growing_pool_registers(int total_calls) {
+  return total_calls + 2;
+}
+
+/// Builds an n-process one-shot system running Algorithm 4 with an
+/// effectively unbounded register pool (no dependence on M in the algorithm).
+inline std::unique_ptr<runtime::System<TsRecord>> make_growing_oneshot_system(
+    int n, runtime::CallLog<PairTimestamp>* log, SqrtStats* stats = nullptr) {
+  return make_sqrt_oneshot_system(n, log, stats,
+                                  growing_pool_registers(n));
+}
+
+/// Growing variant with `calls_per_process` calls per process.
+inline std::unique_ptr<runtime::System<TsRecord>> make_growing_bounded_system(
+    int n, int calls_per_process, runtime::CallLog<PairTimestamp>* log,
+    SqrtStats* stats = nullptr) {
+  STAMPED_ASSERT(n >= 1 && calls_per_process >= 1);
+  using Sys = runtime::System<TsRecord>;
+  const int total = n * calls_per_process;
+  const int m = growing_pool_registers(total);
+  std::vector<Sys::Program> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    programs.push_back([p, m, calls_per_process, log, stats](Sys::Ctx& ctx) {
+      return sqrt_calls_program(ctx, p, calls_per_process, m, log, stats);
+    });
+  }
+  return std::make_unique<Sys>(m, TsRecord::bottom(), std::move(programs));
+}
+
+}  // namespace stamped::core

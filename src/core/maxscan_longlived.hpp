@@ -1,0 +1,86 @@
+// Long-lived unbounded timestamps: the classic collect/max+1 construction.
+//
+// This is the library's long-lived comparator for the space-gap experiments.
+// Each process owns one single-writer multi-reader register (n registers for
+// n processes). getTS() collects all n registers, computes t = max + 1, writes
+// t to its own register and returns t; compare(t1, t2) is t1 < t2.
+//
+// Correctness: if g1 (by p, returning t1) happens before g2 (by q), then q's
+// collect reads p's register after p wrote t1, and register values never
+// decrease (a process only writes max+1 of a collect that included its own
+// register), so t2 >= t1 + 1 > t1.
+//
+// Substitution note (see DESIGN.md): the paper's Theta(n) comparator is the
+// n-1 register algorithm of Ellen, Fatourou & Ruppert, whose construction is
+// not given in this paper. The n-register max-scan preserves the Theta(n)
+// shape that Theorem 1.1 (n/6 - 1 lower bound) makes asymptotically tight.
+//
+// Wait-free: every call takes exactly n + 1 steps.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/timestamp.hpp"
+#include "runtime/coro.hpp"
+#include "runtime/history.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/system.hpp"
+
+namespace stamped::core {
+
+/// One getTS() by process `pid` in an n-process max-scan object; awaitable so
+/// long-lived programs chain calls. Returns the timestamp.
+template <class Ctx>
+runtime::SubTask<std::int64_t> maxscan_getts(
+    Ctx& ctx, int pid, int n, int call_index,
+    runtime::CallLog<std::int64_t>* log) {
+  const std::uint64_t invoked = ctx.stamp();
+  std::int64_t mx = 0;
+  for (int i = 0; i < n; ++i) {
+    mx = std::max(mx, co_await ctx.read(i));
+  }
+  const std::int64_t t = mx + 1;
+  co_await ctx.write(pid, t);
+  if (log != nullptr) {
+    log->record({pid, call_index, t, invoked, ctx.stamp()});
+  }
+  ctx.note_call_complete();
+  co_return t;
+}
+
+/// Long-lived program: process `pid` performs `num_calls` getTS calls.
+template <class Ctx>
+runtime::ProcessTask maxscan_program(Ctx& ctx, int pid, int n, int num_calls,
+                                     runtime::CallLog<std::int64_t>* log) {
+  for (int k = 0; k < num_calls; ++k) {
+    co_await maxscan_getts(ctx, pid, n, k, log);
+  }
+}
+
+/// Builds an n-process long-lived max-scan system where every process
+/// performs `calls_per_process` getTS calls.
+inline std::unique_ptr<runtime::System<std::int64_t>> make_maxscan_system(
+    int n, int calls_per_process, runtime::CallLog<std::int64_t>* log) {
+  STAMPED_ASSERT(n >= 1 && calls_per_process >= 1);
+  using Sys = runtime::System<std::int64_t>;
+  std::vector<Sys::Program> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    programs.push_back([p, n, calls_per_process, log](Sys::Ctx& ctx) {
+      return maxscan_program(ctx, p, n, calls_per_process, log);
+    });
+  }
+  return std::make_unique<Sys>(n, std::int64_t{0}, std::move(programs));
+}
+
+/// Deterministic factory for replay-based adversaries.
+inline runtime::SystemFactory maxscan_factory(int n, int calls_per_process) {
+  return [n, calls_per_process]() -> std::unique_ptr<runtime::ISystem> {
+    return make_maxscan_system(n, calls_per_process, nullptr);
+  };
+}
+
+}  // namespace stamped::core

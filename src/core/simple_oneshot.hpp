@@ -1,0 +1,89 @@
+// Section 5: the simple one-shot timestamp object with ceil(n/2) registers.
+//
+// R[0 .. ceil(n/2)-1] is an array of multi-reader/2-writer registers holding
+// values in {0,1,2}, all initialized to 0; register floor(p/2) is written by
+// processes p and its partner. simple-getTS() by process p reads the
+// registers in index order, increments its own register when it reaches it,
+// and returns the sum of all values as its timestamp.
+// simple-compare(t1,t2) is t1 < t2 (see core::compare for int64_t).
+//
+// Wait-free; each call takes exactly ceil(n/2) + 2 shared-memory steps
+// (one extra read + one write at the process's own register).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/timestamp.hpp"
+#include "runtime/coro.hpp"
+#include "runtime/history.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/system.hpp"
+#include "util/math.hpp"
+
+namespace stamped::core {
+
+/// Number of registers the simple algorithm allocates for n processes.
+[[nodiscard]] constexpr int simple_oneshot_registers(int n) {
+  return static_cast<int>(util::ceil_div(n, 2));
+}
+
+/// The register index written by process p.
+[[nodiscard]] constexpr int simple_own_register(int pid) { return pid / 2; }
+
+/// One simple-getTS() call by process `pid` in an n-process system
+/// (Algorithm 2). Appends the returned integer timestamp to `log` if non-null.
+template <class Ctx>
+runtime::ProcessTask simple_getts_program(Ctx& ctx, int pid, int n,
+                                          runtime::CallLog<std::int64_t>* log) {
+  const std::uint64_t invoked = ctx.stamp();
+  const int m = simple_oneshot_registers(n);
+  const int own = simple_own_register(pid);
+  std::int64_t sum = 0;
+  for (int i = 0; i < m; ++i) {
+    if (i == own) {
+      // R[i] := R[i] + 1 — a read followed by a write in the register model.
+      const std::int64_t v = co_await ctx.read(i);
+      STAMPED_ASSERT_MSG(v >= 0 && v <= 1,
+                         "one-shot register out of range before write: " << v);
+      co_await ctx.write(i, v + 1);
+    }
+    const std::int64_t observed = co_await ctx.read(i);
+    STAMPED_ASSERT_MSG(observed >= 0 && observed <= 2,
+                       "register value out of {0,1,2}: " << observed);
+    sum += observed;
+  }
+  if (log != nullptr) {
+    log->record({pid, 0, sum, invoked, ctx.stamp()});
+  }
+  ctx.note_call_complete();
+}
+
+/// Builds an n-process simulation of the simple one-shot object. Every
+/// process performs exactly one simple-getTS(). `log` may be null (the
+/// adversary benchmarks do not need call records) but must outlive the system
+/// otherwise.
+inline std::unique_ptr<runtime::System<std::int64_t>>
+make_simple_oneshot_system(int n, runtime::CallLog<std::int64_t>* log) {
+  STAMPED_ASSERT(n >= 1);
+  using Sys = runtime::System<std::int64_t>;
+  std::vector<Sys::Program> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    programs.push_back([p, n, log](Sys::Ctx& ctx) {
+      return simple_getts_program(ctx, p, n, log);
+    });
+  }
+  return std::make_unique<Sys>(simple_oneshot_registers(n), std::int64_t{0},
+                               std::move(programs));
+}
+
+/// Deterministic factory for replay-based adversaries.
+inline runtime::SystemFactory simple_oneshot_factory(int n) {
+  return [n]() -> std::unique_ptr<runtime::ISystem> {
+    return make_simple_oneshot_system(n, nullptr);
+  };
+}
+
+}  // namespace stamped::core

@@ -1,0 +1,31 @@
+#include "core/timestamp.hpp"
+
+#include <sstream>
+
+namespace stamped::core {
+
+std::string TsId::repr() const {
+  std::ostringstream os;
+  os << 'p' << pid << '.' << call;
+  return os.str();
+}
+
+std::string PairTimestamp::repr() const {
+  std::ostringstream os;
+  os << '(' << rnd << ',' << turn << ')';
+  return os.str();
+}
+
+std::string TsRecord::repr() const {
+  if (is_bottom) return "⊥";
+  std::ostringstream os;
+  os << "<[";
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << seq[i].repr();
+  }
+  os << "]," << rnd << '>';
+  return os.str();
+}
+
+}  // namespace stamped::core

@@ -1,0 +1,76 @@
+// Method-call histories and the happens-before relation.
+//
+// Programs record every completed method call (getTS) in a CallLog. A call g1
+// happens before g2 (paper: g1 -> g2) iff g1's response event precedes g2's
+// invocation event. Event stamps come from SimCtx::stamp() in simulation or
+// from a shared atomic counter under real threads; in both cases stamps are
+// strictly monotone across events, so `responded_at < invoked_at` captures
+// the real-time precedence relation soundly.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace stamped::runtime {
+
+/// One completed method call that returned a timestamp of type Ts.
+template <class Ts>
+struct CallRecord {
+  int pid = -1;
+  int call_index = 0;  ///< k for the k-th call by this process (0-based)
+  Ts ts{};
+  std::uint64_t invoked_at = 0;
+  std::uint64_t responded_at = 0;
+
+  /// Paper's happens-before: this call's response precedes other's invocation.
+  [[nodiscard]] bool happens_before(const CallRecord& other) const {
+    return responded_at < other.invoked_at;
+  }
+};
+
+/// Append-only log of completed calls. Thread-safe (used by both the
+/// single-threaded simulator and real-thread stress tests).
+template <class Ts>
+class CallLog {
+ public:
+  void record(CallRecord<Ts> rec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    STAMPED_ASSERT_MSG(rec.invoked_at < rec.responded_at,
+                       "call must span at least one event");
+    records_.push_back(std::move(rec));
+  }
+
+  /// Snapshot of all records (copy; safe to iterate while others record).
+  [[nodiscard]] std::vector<CallRecord<Ts>> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CallRecord<Ts>> records_;
+};
+
+/// Renders a schedule as a compact string, e.g. "0 1 1 2" (debugging aid).
+std::string schedule_to_string(const std::vector<int>& schedule,
+                               std::size_t max_entries = 64);
+
+/// Parses a whitespace-separated schedule string (inverse of the above for
+/// short schedules); throws invariant_error on malformed input.
+std::vector<int> parse_schedule(const std::string& text);
+
+}  // namespace stamped::runtime

@@ -1,0 +1,108 @@
+#include "runtime/scheduler.hpp"
+
+#include "util/assert.hpp"
+
+namespace stamped::runtime {
+
+std::uint64_t run_script(ISystem& sys, std::span<const int> schedule) {
+  for (int pid : schedule) {
+    STAMPED_ASSERT_MSG(!sys.finished(pid),
+                       "schedule names finished process " << pid);
+    sys.step(pid);
+  }
+  return schedule.size();
+}
+
+std::uint64_t run_round_robin(ISystem& sys, std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  const int n = sys.num_processes();
+  bool progressed = true;
+  while (steps < max_steps && progressed) {
+    progressed = false;
+    for (int p = 0; p < n && steps < max_steps; ++p) {
+      if (sys.finished(p)) continue;
+      sys.step(p);
+      ++steps;
+      progressed = true;
+    }
+  }
+  return steps;
+}
+
+std::uint64_t run_random(ISystem& sys, util::Rng& rng,
+                         std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  const int n = sys.num_processes();
+  std::vector<int> live;
+  live.reserve(static_cast<std::size_t>(n));
+  while (steps < max_steps) {
+    live.clear();
+    for (int p = 0; p < n; ++p) {
+      if (!sys.finished(p)) live.push_back(p);
+    }
+    if (live.empty()) break;
+    const int pid =
+        live[static_cast<std::size_t>(rng.next_below(live.size()))];
+    sys.step(pid);
+    ++steps;
+  }
+  return steps;
+}
+
+bool run_solo_until_calls_complete(ISystem& sys, int pid, std::uint64_t calls,
+                                   std::uint64_t max_steps) {
+  const std::uint64_t target = sys.calls_completed(pid) + calls;
+  std::uint64_t steps = 0;
+  while (sys.calls_completed(pid) < target) {
+    if (sys.finished(pid) || steps >= max_steps) return false;
+    sys.step(pid);
+    ++steps;
+  }
+  return true;
+}
+
+bool run_solo_until_poised_outside(ISystem& sys, int pid,
+                                   const std::unordered_set<int>& covered,
+                                   std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (steps <= max_steps) {
+    if (sys.finished(pid)) return false;
+    const PendingOp op = sys.pending(pid);
+    if (op.is_write() && covered.find(op.reg) == covered.end()) return true;
+    if (steps == max_steps) return false;
+    sys.step(pid);
+    ++steps;
+  }
+  return false;
+}
+
+bool run_solo_until(ISystem& sys, int pid,
+                    const std::function<bool(ISystem&)>& predicate,
+                    std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (!predicate(sys)) {
+    if (sys.finished(pid) || steps >= max_steps) return false;
+    sys.step(pid);
+    ++steps;
+  }
+  return true;
+}
+
+std::unique_ptr<ISystem> replay(const SystemFactory& factory,
+                                std::span<const int> schedule) {
+  auto sys = factory();
+  STAMPED_ASSERT(sys != nullptr);
+  run_script(*sys, schedule);
+  return sys;
+}
+
+void check_no_failures(ISystem& sys) {
+  for (int p = 0; p < sys.num_processes(); ++p) {
+    if (sys.failed(p)) {
+      STAMPED_ASSERT_MSG(false, "process " << p << " failed: "
+                                           << sys.failure_message(p));
+    }
+  }
+}
+
+}  // namespace stamped::runtime

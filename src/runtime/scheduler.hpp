@@ -1,0 +1,80 @@
+// Schedulers: drivers that choose which process takes the next step.
+//
+// A schedule (paper: sigma) is a sequence of process indices. The helpers in
+// this header realize the executions used throughout the paper:
+//  - run_script:      the execution (C; sigma) for an explicit sigma
+//  - run_round_robin: a fair schedule until completion
+//  - run_random:      a uniformly random adversary (seeded, reproducible)
+//  - solo executions: run one process until its method call completes, or
+//                     until it is poised to write outside a register set
+//                     (the building block of the covering arguments)
+//  - replay:          reconstruct sigma(C0) from a factory — configuration
+//                     cloning for the lower-bound adversaries
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/isystem.hpp"
+#include "util/rng.hpp"
+
+namespace stamped::runtime {
+
+/// A schedule: one process index per step.
+using Schedule = std::vector<int>;
+
+/// Creates a fresh system in its initial configuration C0. Factories must be
+/// deterministic: two systems from the same factory stepped through the same
+/// schedule reach indistinguishable configurations.
+using SystemFactory = std::function<std::unique_ptr<ISystem>()>;
+
+/// Executes the steps of `schedule` in order. Every scheduled process must
+/// have a pending operation (i.e. not be finished). Returns the number of
+/// steps executed (== schedule.size()).
+std::uint64_t run_script(ISystem& sys, std::span<const int> schedule);
+
+/// Round-robin over unfinished processes until all finish or `max_steps` is
+/// reached. Returns steps executed.
+std::uint64_t run_round_robin(ISystem& sys, std::uint64_t max_steps);
+
+/// Uniformly random choice among unfinished processes each step, until all
+/// finish or `max_steps`. Returns steps executed.
+std::uint64_t run_random(ISystem& sys, util::Rng& rng,
+                         std::uint64_t max_steps);
+
+/// Runs only `pid` until it has completed `calls` additional method calls
+/// (paper: a solo execution containing a complete getTS()).
+/// Returns true on success; false if the process finished or `max_steps` was
+/// hit first.
+bool run_solo_until_calls_complete(ISystem& sys, int pid, std::uint64_t calls,
+                                   std::uint64_t max_steps);
+
+/// Runs only `pid` until it is poised to write to some register outside
+/// `covered` (the process then covers a register outside the set). The poised
+/// write is NOT executed. Returns true if such a point was reached; false if
+/// the process finished (or hit `max_steps`) without ever being poised to
+/// write outside `covered`.
+bool run_solo_until_poised_outside(ISystem& sys, int pid,
+                                   const std::unordered_set<int>& covered,
+                                   std::uint64_t max_steps);
+
+/// Steps `pid` while `predicate(sys)` is false; stops when the predicate
+/// turns true, the process finishes, or `max_steps` is hit. Returns whether
+/// the predicate held at stop.
+bool run_solo_until(ISystem& sys, int pid,
+                    const std::function<bool(ISystem&)>& predicate,
+                    std::uint64_t max_steps);
+
+/// Builds sigma(C0): fresh system from `factory`, stepped through `schedule`.
+std::unique_ptr<ISystem> replay(const SystemFactory& factory,
+                                std::span<const int> schedule);
+
+/// Throws stamped::invariant_error if any process of `sys` failed, with the
+/// failure message. Call after driving a system to surface program bugs.
+void check_no_failures(ISystem& sys);
+
+}  // namespace stamped::runtime

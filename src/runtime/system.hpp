@@ -1,0 +1,408 @@
+// The simulated asynchronous shared-memory system.
+//
+// System<V> owns m atomic registers of value type V and n processes, each a
+// coroutine (runtime/coro.hpp). The system is driven one step at a time by a
+// scheduler; each step executes exactly one shared-memory operation of one
+// process, matching the computational model of the paper (Section 2):
+//
+//   configuration C = (s_1..s_n, v_1..v_m)   — coroutine frames + registers
+//   execution (C; sigma)                     — steps in schedule order
+//   covering                                 — pending(p).covers(r)
+//
+// Determinism & replay: the processes of this library are deterministic, so a
+// System constructed from the same programs and stepped through the same
+// schedule reaches the same configuration. The lower-bound adversaries use
+// this to "clone" configurations by replay (see adversary/).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "runtime/coro.hpp"
+#include "runtime/isystem.hpp"
+#include "runtime/value.hpp"
+#include "util/assert.hpp"
+
+namespace stamped::runtime {
+
+/// One executed step, recorded in the system trace.
+template <RegisterValue V>
+struct TraceEntry {
+  std::uint64_t index = 0;  ///< 0-based global step number
+  int pid = -1;
+  OpKind kind = OpKind::kNone;
+  int reg = -1;
+  V written{};   ///< value stored (write/swap)
+  V observed{};  ///< value returned to the process (read/swap)
+};
+
+template <RegisterValue V>
+class System;
+
+/// Per-process handle through which programs access shared memory. Passed by
+/// reference to the process coroutine; stable for the system's lifetime.
+template <RegisterValue V>
+class SimCtx {
+ public:
+  using Value = V;
+
+  SimCtx(const SimCtx&) = delete;
+  SimCtx& operator=(const SimCtx&) = delete;
+
+  [[nodiscard]] int pid() const { return pid_; }
+  [[nodiscard]] int num_registers() const;
+  [[nodiscard]] int num_processes() const;
+
+  struct ReadAwaiter {
+    System<V>* sys;
+    int pid;
+    int reg;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sys->post_op(pid, OpKind::kRead, reg, V{}, h);
+    }
+    V await_resume() { return sys->take_result(pid); }
+  };
+
+  struct WriteAwaiter {
+    System<V>* sys;
+    int pid;
+    int reg;
+    V value;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sys->post_op(pid, OpKind::kWrite, reg, std::move(value), h);
+    }
+    void await_resume() {}
+  };
+
+  struct SwapAwaiter {
+    System<V>* sys;
+    int pid;
+    int reg;
+    V value;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sys->post_op(pid, OpKind::kSwap, reg, std::move(value), h);
+    }
+    V await_resume() { return sys->take_result(pid); }
+  };
+
+  /// Atomic read of register `reg` (one step).
+  [[nodiscard]] ReadAwaiter read(int reg) { return {sys_, pid_, reg}; }
+  /// Atomic write to register `reg` (one step).
+  [[nodiscard]] WriteAwaiter write(int reg, V value) {
+    return {sys_, pid_, reg, std::move(value)};
+  }
+  /// Atomic swap on register `reg` (one step); returns the old value.
+  [[nodiscard]] SwapAwaiter swap(int reg, V value) {
+    return {sys_, pid_, reg, std::move(value)};
+  }
+
+  /// Monotone event counter; used to timestamp method invocations/responses
+  /// for the happens-before checker. Strictly increases across all events.
+  std::uint64_t stamp();
+
+  /// Global steps executed so far (each shared-memory op is one step).
+  [[nodiscard]] std::uint64_t steps_now() const;
+
+  /// Steps executed by this process so far (wait-freedom accounting).
+  [[nodiscard]] std::uint64_t my_steps() const;
+
+  /// Programs call this when a method call (e.g. getTS) completes; solo
+  /// schedulers use the count to detect completion.
+  void note_call_complete();
+
+ private:
+  friend class System<V>;
+  SimCtx(System<V>* sys, int pid) : sys_(sys), pid_(pid) {}
+  System<V>* sys_;
+  int pid_;
+};
+
+/// The simulated machine. See file comment.
+template <RegisterValue V>
+class System final : public ISystem {
+ public:
+  using Ctx = SimCtx<V>;
+  using Program = std::function<ProcessTask(Ctx&)>;
+  using Observer = std::function<void(const System&, const TraceEntry<V>&)>;
+
+  /// Constructs a system with `num_registers` registers all holding
+  /// `initial`, and one process per entry of `programs`.
+  System(int num_registers, V initial, std::vector<Program> programs)
+      : initial_(initial),
+        registers_(static_cast<std::size_t>(num_registers), initial),
+        write_counts_(static_cast<std::size_t>(num_registers), 0) {
+    STAMPED_ASSERT(num_registers > 0);
+    STAMPED_ASSERT(!programs.empty());
+    const int n = static_cast<int>(programs.size());
+    slots_.resize(static_cast<std::size_t>(n));
+    views_.resize(static_cast<std::size_t>(n));
+    ctxs_.reserve(static_cast<std::size_t>(n));
+    tasks_.reserve(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      ctxs_.push_back(std::unique_ptr<Ctx>(new Ctx(this, p)));
+      tasks_.push_back(programs[static_cast<std::size_t>(p)](*ctxs_.back()));
+      STAMPED_ASSERT(tasks_.back().valid());
+    }
+  }
+
+  // ---- ISystem ------------------------------------------------------------
+
+  [[nodiscard]] int num_processes() const override {
+    return static_cast<int>(tasks_.size());
+  }
+  [[nodiscard]] int num_registers() const override {
+    return static_cast<int>(registers_.size());
+  }
+
+  bool finished(int pid) override {
+    ensure_started(pid);
+    return tasks_[idx(pid)].done();
+  }
+
+  bool failed(int pid) override {
+    ensure_started(pid);
+    return tasks_[idx(pid)].done() &&
+           tasks_[idx(pid)].exception() != nullptr;
+  }
+
+  [[nodiscard]] std::string failure_message(int pid) const override {
+    const auto& task = tasks_[idx(pid)];
+    if (!task.done() || !task.exception()) return {};
+    try {
+      std::rethrow_exception(task.exception());
+    } catch (const std::exception& e) {
+      return e.what();
+    } catch (...) {
+      return "unknown exception";
+    }
+  }
+
+  PendingOp pending(int pid) override {
+    ensure_started(pid);
+    if (tasks_[idx(pid)].done()) return {};
+    const Slot& s = slots_[idx(pid)];
+    return {s.kind, s.reg};
+  }
+
+  void step(int pid) override {
+    ensure_started(pid);
+    STAMPED_ASSERT_MSG(!tasks_[idx(pid)].done(),
+                       "step() on finished process " << pid);
+    Slot& s = slots_[idx(pid)];
+    STAMPED_ASSERT_MSG(s.kind != OpKind::kNone,
+                       "process " << pid << " has no pending op");
+
+    TraceEntry<V> entry;
+    entry.index = trace_.size();
+    entry.pid = pid;
+    entry.kind = s.kind;
+    entry.reg = s.reg;
+
+    V& cell = registers_[static_cast<std::size_t>(s.reg)];
+    switch (s.kind) {
+      case OpKind::kRead:
+        s.result = cell;
+        entry.observed = s.result;
+        append_view(pid, "R[" + std::to_string(s.reg) +
+                             "]=" + value_repr(s.result));
+        break;
+      case OpKind::kWrite:
+        entry.written = s.to_write;
+        cell = s.to_write;
+        ++write_counts_[static_cast<std::size_t>(s.reg)];
+        append_view(pid, "W[" + std::to_string(s.reg) +
+                             "]:=" + value_repr(entry.written));
+        break;
+      case OpKind::kSwap:
+        s.result = cell;
+        entry.observed = s.result;
+        entry.written = s.to_write;
+        cell = s.to_write;
+        ++write_counts_[static_cast<std::size_t>(s.reg)];
+        append_view(pid, "X[" + std::to_string(s.reg) + "]:=" +
+                             value_repr(entry.written) + "/" +
+                             value_repr(entry.observed));
+        break;
+      case OpKind::kNone:
+        STAMPED_ASSERT(false);
+    }
+
+    s.kind = OpKind::kNone;
+    s.reg = -1;
+    ++steps_;
+    ++steps_by_pid_[pid];
+    ++event_counter_;
+    executed_schedule_.push_back(pid);
+    step_infos_.push_back({pid, entry.kind, entry.reg});
+    trace_.push_back(entry);
+
+    auto h = std::exchange(s.resume_point, {});
+    STAMPED_ASSERT(h);
+    h.resume();
+
+    if (observer_) observer_(*this, trace_.back());
+  }
+
+  [[nodiscard]] std::uint64_t steps_taken() const override { return steps_; }
+  [[nodiscard]] std::uint64_t steps_taken_by(int pid) const override {
+    auto it = steps_by_pid_.find(pid);
+    return it == steps_by_pid_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t calls_completed(int pid) const override {
+    auto it = calls_by_pid_.find(pid);
+    return it == calls_by_pid_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t calls_completed_total() const override {
+    return calls_total_;
+  }
+
+  [[nodiscard]] const std::vector<int>& executed_schedule() const override {
+    return executed_schedule_;
+  }
+
+  [[nodiscard]] const std::vector<StepInfo>& step_infos() const override {
+    return step_infos_;
+  }
+
+  [[nodiscard]] std::string register_repr(int reg) const override {
+    return value_repr(registers_[idx(reg)]);
+  }
+  [[nodiscard]] bool register_written(int reg) const override {
+    return write_counts_[idx(reg)] > 0;
+  }
+  [[nodiscard]] std::uint64_t writes_to(int reg) const override {
+    return write_counts_[idx(reg)];
+  }
+
+  [[nodiscard]] std::string process_view(int pid) const override {
+    std::ostringstream os;
+    for (const auto& item : views_[idx(pid)]) os << item << ';';
+    return os.str();
+  }
+
+  // ---- typed access (tests, invariant checkers) ---------------------------
+
+  /// Current value of register `reg`.
+  [[nodiscard]] const V& reg_value(int reg) const {
+    return registers_[idx(reg)];
+  }
+
+  /// Full step trace.
+  [[nodiscard]] const std::vector<TraceEntry<V>>& trace() const {
+    return trace_;
+  }
+
+  /// Installs a hook invoked after every step (invariant checking).
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+  // ---- used by SimCtx ------------------------------------------------------
+
+  void post_op(int pid, OpKind kind, int reg, V value,
+               std::coroutine_handle<> resume_point) {
+    STAMPED_ASSERT_MSG(reg >= 0 && reg < num_registers(),
+                       "process " << pid << " accessed register " << reg
+                                  << " outside [0," << num_registers() << ")");
+    Slot& s = slots_[idx(pid)];
+    STAMPED_ASSERT(s.kind == OpKind::kNone);
+    s.kind = kind;
+    s.reg = reg;
+    s.to_write = std::move(value);
+    s.resume_point = resume_point;
+  }
+
+  V take_result(int pid) { return std::move(slots_[idx(pid)].result); }
+
+  std::uint64_t bump_event_counter() { return ++event_counter_; }
+
+  void note_call_complete(int pid) {
+    ++calls_by_pid_[pid];
+    ++calls_total_;
+    append_view(pid, "done#" + std::to_string(calls_by_pid_[pid]));
+  }
+
+ private:
+  struct Slot {
+    OpKind kind = OpKind::kNone;
+    int reg = -1;
+    V to_write{};
+    V result{};
+    std::coroutine_handle<> resume_point{};
+  };
+
+  static std::size_t idx(int i) { return static_cast<std::size_t>(i); }
+
+  void ensure_started(int pid) {
+    STAMPED_ASSERT_MSG(pid >= 0 && pid < num_processes(),
+                       "bad pid " << pid);
+    if (started_.size() <= idx(pid)) started_.resize(tasks_.size(), false);
+    if (!started_[idx(pid)]) {
+      started_[idx(pid)] = true;
+      // Runs process-local code up to the first shared-memory operation (or
+      // completion). This consumes no model step.
+      tasks_[idx(pid)].handle().resume();
+    }
+  }
+
+  void append_view(int pid, std::string item) {
+    views_[idx(pid)].push_back(std::move(item));
+  }
+
+  V initial_;
+  std::vector<V> registers_;
+  std::vector<std::uint64_t> write_counts_;
+  std::vector<std::unique_ptr<Ctx>> ctxs_;
+  std::vector<ProcessTask> tasks_;
+  std::vector<Slot> slots_;
+  std::vector<bool> started_;
+  std::vector<std::vector<std::string>> views_;
+  std::vector<TraceEntry<V>> trace_;
+  std::vector<int> executed_schedule_;
+  std::vector<StepInfo> step_infos_;
+  std::unordered_map<int, std::uint64_t> steps_by_pid_;
+  std::unordered_map<int, std::uint64_t> calls_by_pid_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t event_counter_ = 0;
+  std::uint64_t calls_total_ = 0;
+  Observer observer_;
+};
+
+template <RegisterValue V>
+int SimCtx<V>::num_registers() const {
+  return sys_->num_registers();
+}
+
+template <RegisterValue V>
+int SimCtx<V>::num_processes() const {
+  return sys_->num_processes();
+}
+
+template <RegisterValue V>
+std::uint64_t SimCtx<V>::stamp() {
+  return sys_->bump_event_counter();
+}
+
+template <RegisterValue V>
+std::uint64_t SimCtx<V>::steps_now() const {
+  return sys_->steps_taken();
+}
+
+template <RegisterValue V>
+std::uint64_t SimCtx<V>::my_steps() const {
+  return sys_->steps_taken_by(pid_);
+}
+
+template <RegisterValue V>
+void SimCtx<V>::note_call_complete() {
+  sys_->note_call_complete(pid_);
+}
+
+}  // namespace stamped::runtime

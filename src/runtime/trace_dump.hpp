@@ -1,0 +1,84 @@
+// Human-readable rendering of executions: step traces, register files, and
+// per-process views. Debugging aid used by examples and failure messages.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "runtime/isystem.hpp"
+#include "runtime/system.hpp"
+
+namespace stamped::runtime {
+
+/// Renders the last `max_steps` steps of a typed trace, one line per step:
+///   #12 p3 write R[2] := <[p3.0],2>
+template <RegisterValue V>
+std::string dump_trace(const System<V>& sys, std::size_t max_steps = 64) {
+  const auto& trace = sys.trace();
+  const std::size_t begin =
+      trace.size() > max_steps ? trace.size() - max_steps : 0;
+  std::ostringstream os;
+  if (begin > 0) os << "… (" << begin << " earlier steps)\n";
+  for (std::size_t i = begin; i < trace.size(); ++i) {
+    const auto& e = trace[i];
+    os << '#' << e.index << " p" << e.pid << ' ' << op_kind_name(e.kind)
+       << " R[" << e.reg << ']';
+    switch (e.kind) {
+      case OpKind::kRead:
+        os << " -> " << value_repr(e.observed);
+        break;
+      case OpKind::kWrite:
+        os << " := " << value_repr(e.written);
+        break;
+      case OpKind::kSwap:
+        os << " := " << value_repr(e.written) << " (was "
+           << value_repr(e.observed) << ')';
+        break;
+      case OpKind::kNone:
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+/// Renders the current register file, one line per register, with covering
+/// process lists:
+///   R[0] = <[p0.0],1>   covered by {p2 p3}
+inline std::string dump_registers(ISystem& sys) {
+  std::ostringstream os;
+  for (int r = 0; r < sys.num_registers(); ++r) {
+    os << "R[" << r << "] = " << sys.register_repr(r);
+    std::string coverers;
+    for (int p = 0; p < sys.num_processes(); ++p) {
+      if (!sys.finished(p) && sys.pending(p).covers(r)) {
+        coverers += (coverers.empty() ? "p" : " p") + std::to_string(p);
+      }
+    }
+    if (!coverers.empty()) os << "   covered by {" << coverers << '}';
+    os << '\n';
+  }
+  return os.str();
+}
+
+/// One-line status of every process: steps, calls, pending op.
+inline std::string dump_processes(ISystem& sys) {
+  std::ostringstream os;
+  for (int p = 0; p < sys.num_processes(); ++p) {
+    os << 'p' << p << ": steps=" << sys.steps_taken_by(p)
+       << " calls=" << sys.calls_completed(p);
+    if (sys.failed(p)) {
+      os << " FAILED(" << sys.failure_message(p) << ')';
+    } else if (sys.finished(p)) {
+      os << " finished";
+    } else {
+      const PendingOp op = sys.pending(p);
+      os << " pending=" << op_kind_name(op.kind);
+      if (op.kind != OpKind::kNone) os << "@R[" << op.reg << ']';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace stamped::runtime

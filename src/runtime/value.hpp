@@ -1,0 +1,36 @@
+// Register value representation helpers.
+//
+// A System<V> is homogeneous in its register value type V. V must be
+// regular (default-constructible, copyable, equality-comparable) and
+// printable either because it is arithmetic or because it provides a
+// `std::string repr() const` member. The printed representation is used for
+// traces, indistinguishability checks, and debugging output; it must be
+// injective on the values an algorithm actually stores.
+#pragma once
+
+#include <concepts>
+#include <string>
+#include <type_traits>
+
+namespace stamped::runtime {
+
+template <class V>
+concept HasRepr = requires(const V& v) {
+  { v.repr() } -> std::convertible_to<std::string>;
+};
+
+template <class V>
+concept RegisterValue =
+    std::regular<V> && (std::is_arithmetic_v<V> || HasRepr<V>);
+
+/// Canonical string form of a register value.
+template <RegisterValue V>
+std::string value_repr(const V& v) {
+  if constexpr (std::is_arithmetic_v<V>) {
+    return std::to_string(v);
+  } else {
+    return v.repr();
+  }
+}
+
+}  // namespace stamped::runtime

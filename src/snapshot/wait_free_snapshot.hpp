@@ -1,0 +1,177 @@
+// The wait-free single-writer atomic snapshot of Afek, Attiya, Dolev, Gafni,
+// Merritt & Shavit (J.ACM 1993) — the substrate cited by the paper for
+// Algorithm 4's scan primitive.
+//
+// Each of the n components is a single-writer register holding a SnapCell:
+// the component value, a write sequence number, and the view the writer
+// embedded (obtained from its own scan performed inside update()).
+//
+// scan(): repeatedly collect all cells.
+//   - If two consecutive collects are identical, return the direct view
+//     (linearizes between the two collects).
+//   - If some writer is observed to move twice (its seq changed in two
+//     distinct collect transitions since the scan began), return that
+//     writer's embedded view: the embedded scan executed entirely within
+//     this scan's interval, so its linearization point is valid here too.
+// Every update performs exactly one embedded scan, so after n+1 collects a
+// scan either double-collects cleanly or sees some writer move twice:
+// wait-free with O(n^2) reads per scan.
+//
+// update(v): scan(), then write <v, seq+1, view>.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/coro.hpp"
+#include "runtime/history.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/system.hpp"
+#include "util/assert.hpp"
+
+namespace stamped::snapshot {
+
+/// Register content for the wait-free snapshot (component values: int64).
+struct SnapCell {
+  std::int64_t value = 0;
+  std::int64_t seq = 0;
+  std::vector<std::int64_t> view;  ///< embedded view (empty before 1st write)
+
+  friend bool operator==(const SnapCell&, const SnapCell&) = default;
+
+  [[nodiscard]] std::string repr() const {
+    std::ostringstream os;
+    os << '{' << value << "#" << seq << ",[";
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << view[i];
+    }
+    os << "]}";
+    return os.str();
+  }
+};
+
+/// A scan with its interval, for linearizability checking.
+struct ScanRecord {
+  int pid = -1;
+  std::vector<std::int64_t> view;
+  std::uint64_t start_step = 0;  ///< steps_now() at scan start
+  std::uint64_t end_step = 0;    ///< steps_now() at scan end
+  bool used_embedded = false;    ///< view taken from a moving writer
+};
+
+/// Thread-safe log of completed scans.
+class ScanLog {
+ public:
+  void record(ScanRecord rec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(std::move(rec));
+  }
+  [[nodiscard]] std::vector<ScanRecord> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ScanRecord> records_;
+};
+
+/// One collect: reads components [0, count) in order.
+template <class Ctx>
+runtime::SubTask<std::vector<SnapCell>> snap_collect(Ctx& ctx, int count) {
+  std::vector<SnapCell> cells;
+  cells.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    cells.push_back(co_await ctx.read(i));
+  }
+  co_return cells;
+}
+
+/// Wait-free scan over components [0, n). Returns the component values.
+template <class Ctx>
+runtime::SubTask<std::vector<std::int64_t>> snap_scan(Ctx& ctx, int n,
+                                                      ScanLog* log) {
+  const std::uint64_t start = ctx.steps_now();
+  std::vector<int> moved(static_cast<std::size_t>(n), 0);
+  std::vector<SnapCell> prev = co_await snap_collect(ctx, n);
+  for (;;) {
+    std::vector<SnapCell> cur = co_await snap_collect(ctx, n);
+    if (cur == prev) {
+      std::vector<std::int64_t> view;
+      view.reserve(static_cast<std::size_t>(n));
+      for (const auto& cell : cur) view.push_back(cell.value);
+      if (log != nullptr) {
+        log->record({ctx.pid(), view, start, ctx.steps_now(), false});
+      }
+      co_return view;
+    }
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (cur[ui].seq != prev[ui].seq) {
+        ++moved[ui];
+        if (moved[ui] >= 2) {
+          // Writer i completed an entire update within our interval; its
+          // embedded view was obtained by a scan nested in our interval.
+          STAMPED_ASSERT_MSG(
+              static_cast<int>(cur[ui].view.size()) == n,
+              "embedded view missing for component " << i);
+          std::vector<std::int64_t> view = cur[ui].view;
+          if (log != nullptr) {
+            log->record({ctx.pid(), view, start, ctx.steps_now(), true});
+          }
+          co_return view;
+        }
+      }
+    }
+    prev = std::move(cur);
+  }
+}
+
+/// Wait-free update of component `pid` to `value`.
+template <class Ctx>
+runtime::SubTask<std::int64_t> snap_update(Ctx& ctx, int pid, int n,
+                                           std::int64_t value,
+                                           std::int64_t local_seq,
+                                           ScanLog* log) {
+  std::vector<std::int64_t> view = co_await snap_scan(ctx, n, log);
+  SnapCell cell{value, local_seq, std::move(view)};
+  co_await ctx.write(pid, std::move(cell));
+  co_return local_seq;
+}
+
+/// Worker program: alternates updates of component `pid` (values
+/// pid*1000 + k) with scans, `rounds` times. A free-function coroutine so
+/// its parameters live in the frame (see core/sqrt_oneshot.hpp note).
+template <class Ctx>
+runtime::ProcessTask snapshot_worker_program(Ctx& ctx, int pid, int n,
+                                             int rounds, ScanLog* log) {
+  for (int k = 1; k <= rounds; ++k) {
+    co_await snap_update(ctx, pid, n, static_cast<std::int64_t>(pid) * 1000 + k,
+                         k, log);
+    ctx.note_call_complete();
+    std::vector<std::int64_t> view = co_await snap_scan(ctx, n, log);
+    (void)view;
+    ctx.note_call_complete();
+  }
+}
+
+/// Builds a simulated snapshot system of n update/scan workers.
+inline std::unique_ptr<runtime::System<SnapCell>> make_snapshot_system(
+    int n, int rounds, ScanLog* log) {
+  STAMPED_ASSERT(n >= 1 && rounds >= 1);
+  using Sys = runtime::System<SnapCell>;
+  std::vector<Sys::Program> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    programs.push_back([p, n, rounds, log](Sys::Ctx& ctx) {
+      return snapshot_worker_program(ctx, p, n, rounds, log);
+    });
+  }
+  return std::make_unique<Sys>(n, SnapCell{}, std::move(programs));
+}
+
+}  // namespace stamped::snapshot

@@ -1,0 +1,49 @@
+// Always-on assertion macros for the stamped library.
+//
+// The simulator and the algorithm implementations check model invariants (e.g.
+// the non-bottom-prefix property of Algorithm 4) on every step; these checks
+// must not silently disappear in release builds, so we do not use <cassert>.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stamped {
+
+/// Thrown when an internal invariant of the library is violated. Tests treat
+/// any escape of this exception as a failure of the system under test.
+class invariant_error : public std::logic_error {
+ public:
+  explicit invariant_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace stamped
+
+// STAMPED_ASSERT(cond): hard invariant; throws stamped::invariant_error.
+#define STAMPED_ASSERT(cond)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::stamped::detail::assert_fail(#cond, __FILE__, __LINE__, "");      \
+  } while (0)
+
+// STAMPED_ASSERT_MSG(cond, msg): as above with a streamable message.
+#define STAMPED_ASSERT_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream stamped_assert_os_;                              \
+      stamped_assert_os_ << msg;                                          \
+      ::stamped::detail::assert_fail(#cond, __FILE__, __LINE__,           \
+                                     stamped_assert_os_.str());           \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,37 @@
+#include "util/bounds.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace stamped::util::bounds {
+
+double longlived_lower(std::int64_t n) {
+  return static_cast<double>(n) / 6.0 - 1.0;
+}
+
+std::int64_t longlived_upper_efr(std::int64_t n) { return n - 1; }
+
+std::int64_t longlived_upper_maxscan(std::int64_t n) { return n; }
+
+double oneshot_lower(std::int64_t n) {
+  const double nd = static_cast<double>(n);
+  return std::sqrt(2.0 * nd) - std::log2(nd);
+}
+
+std::int64_t oneshot_upper_sqrt(std::int64_t m_calls) {
+  // ceil(2 * sqrt(M)): smallest integer m with m >= 2*sqrt(M), i.e. m^2 >= 4M.
+  return isqrt_ceil(4 * m_calls);
+}
+
+std::int64_t oneshot_upper_simple(std::int64_t n) { return ceil_div(n, 2); }
+
+std::int64_t oneshot_grid_m(std::int64_t n) { return isqrt(2 * n); }
+
+double phase_bound(std::int64_t m_calls) {
+  return 2.0 * std::sqrt(static_cast<double>(m_calls));
+}
+
+std::int64_t invalidation_bound(std::int64_t m_calls) { return 2 * m_calls; }
+
+}  // namespace stamped::util::bounds

@@ -1,0 +1,62 @@
+#include "util/grid.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace stamped::util {
+
+std::string render_covering_grid(const std::vector<int>& ordered_sig, int l,
+                                 int highlight) {
+  const int m = static_cast<int>(ordered_sig.size());
+  if (m == 0) return "(empty grid)\n";
+  int max_height = l > 0 ? l : 0;
+  for (int s : ordered_sig) max_height = std::max(max_height, s);
+  max_height = std::max(max_height, 1);
+
+  std::ostringstream os;
+  // Rows from the top (height max_height) down to 1.
+  for (int h = max_height; h >= 1; --h) {
+    os << (h < 10 ? " " : "") << h << " |";
+    for (int c = 0; c < m; ++c) {
+      const bool shaded = ordered_sig[static_cast<std::size_t>(c)] >= h;
+      // The stepped diagonal for an l-constrained configuration: column c
+      // (1-based) may be shaded only strictly below height l - c + 1; draw the
+      // boundary cell. (Paper: s_c <= l - c.)
+      const bool diagonal = l > 0 && h == l - c;
+      char cell = ' ';
+      if (shaded) cell = '#';
+      else if (diagonal) cell = '\\';
+      os << ' ' << cell << (c == highlight ? '<' : ' ');
+    }
+    os << '\n';
+  }
+  os << "    ";
+  for (int c = 0; c < m; ++c) os << "---";
+  os << '\n' << "    ";
+  for (int c = 1; c <= m; ++c) {
+    if (c < 10) {
+      os << ' ' << c << ' ';
+    } else {
+      os << c << ' ';
+    }
+  }
+  os << "  (columns = registers, ordered by cover count)\n";
+  return os.str();
+}
+
+std::string summarize_signature(const std::vector<int>& sig) {
+  std::ostringstream os;
+  os << "sig=(";
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (i > 0) os << ',';
+    os << sig[i];
+  }
+  const int covered = static_cast<int>(
+      std::count_if(sig.begin(), sig.end(), [](int s) { return s > 0; }));
+  const int total = std::accumulate(sig.begin(), sig.end(), 0);
+  os << ") covered=" << covered << " total=" << total;
+  return os.str();
+}
+
+}  // namespace stamped::util

@@ -1,0 +1,28 @@
+// ASCII rendering of the covering grid from Section 4 of the paper
+// (Figures 1 and 2).
+//
+// A configuration with ordered signature (s_1, ..., s_m) is drawn on an
+// m-column grid where column c has its lowest s_c cells shaded; the stepped
+// diagonal of an l-constrained configuration starts at height l-1. Each shaded
+// cell is one process covering the register assigned to that column.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stamped::util {
+
+/// Renders the covering grid for an ordered signature.
+///
+/// @param ordered_sig  non-increasing per-column cover counts (s_1 >= s_2 ...)
+/// @param l            the constraint parameter; the stepped diagonal is drawn
+///                     at height l - c for column c (pass 0 to omit it)
+/// @param highlight    column index (0-based) to mark, or -1
+std::string render_covering_grid(const std::vector<int>& ordered_sig, int l,
+                                 int highlight = -1);
+
+/// One-line summary, e.g. "sig=(4,3,3,1,0) covered=4 total=11".
+std::string summarize_signature(const std::vector<int>& sig);
+
+}  // namespace stamped::util

@@ -1,0 +1,60 @@
+// Small integer math helpers used throughout the library.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace stamped::util {
+
+/// Ceiling division for non-negative integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Integer square root: largest s with s*s <= x.
+constexpr std::int64_t isqrt(std::int64_t x) {
+  if (x < 0) return 0;
+  std::int64_t s = 0;
+  std::int64_t bit = std::int64_t{1} << 31;
+  while (bit * bit > x) bit >>= 1;
+  for (; bit > 0; bit >>= 1) {
+    const std::int64_t candidate = s + bit;
+    if (candidate * candidate <= x) s = candidate;
+  }
+  return s;
+}
+
+/// Smallest s with s*s >= x (ceiling of the real square root).
+constexpr std::int64_t isqrt_ceil(std::int64_t x) {
+  const std::int64_t s = isqrt(x);
+  return s * s == x ? s : s + 1;
+}
+
+/// Floor of log2(x); x must be >= 1.
+constexpr int floor_log2(std::int64_t x) {
+  int lg = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++lg;
+  }
+  return lg;
+}
+
+/// Ceiling of log2(x); x must be >= 1.
+constexpr int ceil_log2(std::int64_t x) {
+  const int fl = floor_log2(x);
+  return (std::int64_t{1} << fl) == x ? fl : fl + 1;
+}
+
+static_assert(isqrt(0) == 0);
+static_assert(isqrt(1) == 1);
+static_assert(isqrt(15) == 3);
+static_assert(isqrt(16) == 4);
+static_assert(isqrt_ceil(15) == 4);
+static_assert(isqrt_ceil(16) == 4);
+static_assert(ceil_div(7, 2) == 4);
+static_assert(floor_log2(8) == 3);
+static_assert(ceil_log2(9) == 4);
+
+}  // namespace stamped::util

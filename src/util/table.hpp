@@ -1,0 +1,48 @@
+// Plain-text table rendering for benchmark output.
+//
+// Benchmarks print paper-style tables (one per reproduced table/figure); this
+// keeps the formatting logic in one place and the benchmark code declarative.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stamped::util {
+
+/// A simple column-aligned text table with a title and column headers.
+///
+/// Usage:
+///   Table t("T2: one-shot space", {"n", "lower", "simple", "sqrt"});
+///   t.add_row({"64", "7.3", "32", "16"});
+///   std::cout << t.render();
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends one row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with to_string-like rules. Doubles are
+  /// rendered with two decimals.
+  void add_row_values(const std::vector<double>& cells);
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::int64_t v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stamped::util

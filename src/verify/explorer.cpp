@@ -1,0 +1,94 @@
+#include "verify/explorer.hpp"
+
+#include "runtime/history.hpp"
+#include "util/assert.hpp"
+
+namespace stamped::verify {
+
+namespace {
+
+class Explorer {
+ public:
+  Explorer(const InstanceFactory& factory, const ExploreOptions& opts,
+           ExploreResult& result)
+      : factory_(factory), opts_(opts), result_(result) {}
+
+  void run() {
+    ExplorationInstance root = factory_();
+    runtime::Schedule prefix;
+    dfs(std::move(root), prefix);
+  }
+
+ private:
+  bool budget_left() const {
+    return opts_.max_executions == 0 ||
+           result_.executions < opts_.max_executions;
+  }
+
+  /// `instance.sys` is at the configuration reached by `prefix`.
+  void dfs(ExplorationInstance instance, runtime::Schedule& prefix) {
+    if (!budget_left()) {
+      result_.budget_exhausted = true;
+      return;
+    }
+    if (prefix.size() > result_.max_depth_seen) {
+      result_.max_depth_seen = prefix.size();
+    }
+    STAMPED_ASSERT_MSG(prefix.size() <= opts_.max_depth,
+                       "explorer exceeded max depth — non-terminating "
+                       "program?");
+
+    std::vector<int> candidates;
+    for (int p = 0; p < instance.sys->num_processes(); ++p) {
+      if (!instance.sys->finished(p)) candidates.push_back(p);
+    }
+
+    if (candidates.empty()) {
+      ++result_.executions;
+      if (auto violation = instance.check()) {
+        result_.violations.push_back(
+            *violation + " [schedule: " +
+            runtime::schedule_to_string(prefix, 256) + "]");
+      }
+      return;
+    }
+
+    ++result_.nodes;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!budget_left()) {
+        result_.budget_exhausted = true;
+        return;
+      }
+      ExplorationInstance child;
+      if (i + 1 == candidates.size()) {
+        // Last sibling may consume the live instance.
+        child = std::move(instance);
+      } else {
+        // Earlier siblings reconstruct the prefix on a fresh instance.
+        child = factory_();
+        runtime::run_script(*child.sys, prefix);
+      }
+      const int pid = candidates[i];
+      child.sys->step(pid);
+      prefix.push_back(pid);
+      dfs(std::move(child), prefix);
+      prefix.pop_back();
+    }
+  }
+
+  const InstanceFactory& factory_;
+  const ExploreOptions& opts_;
+  ExploreResult& result_;
+};
+
+}  // namespace
+
+ExploreResult explore_all_executions(const InstanceFactory& factory,
+                                     const ExploreOptions& opts) {
+  ExploreResult result;
+  Explorer explorer(factory, opts, result);
+  explorer.run();
+  return result;
+}
+
+}  // namespace stamped::verify

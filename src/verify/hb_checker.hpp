@@ -1,0 +1,110 @@
+// The timestamp correctness property, checked on recorded histories.
+//
+// Paper, Section 2: if two getTS() instances g1 and g2 return t1 and t2, and
+// g1 happens before g2, then compare(t1, t2) returns true and compare(t2, t1)
+// returns false. This is the *only* requirement of the weak timestamp object;
+// concurrent calls may return arbitrary (even equal) timestamps.
+//
+// The checker takes the CallLog recorded by the programs and verifies the
+// property over all ordered pairs, plus basic sanity of compare itself
+// (irreflexivity and asymmetry on the returned timestamps).
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/history.hpp"
+
+namespace stamped::verify {
+
+/// Result of a history check: empty vector means the property holds.
+struct HbReport {
+  std::vector<std::string> violations;
+  std::size_t ordered_pairs_checked = 0;
+  std::size_t concurrent_pairs = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << "ordered_pairs=" << ordered_pairs_checked
+       << " concurrent_pairs=" << concurrent_pairs
+       << " violations=" << violations.size();
+    for (const auto& v : violations) os << "\n  " << v;
+    return os.str();
+  }
+};
+
+/// Checks the timestamp property on `records` with comparator `cmp`
+/// (cmp(a, b) is the object's compare(a, b)). Quadratic in the number of
+/// calls; intended for test-sized histories.
+template <class Ts, class Cmp>
+HbReport check_timestamp_property(
+    const std::vector<runtime::CallRecord<Ts>>& records, Cmp cmp) {
+  HbReport report;
+  auto describe = [](const runtime::CallRecord<Ts>& r) {
+    std::ostringstream os;
+    os << "getTS(p" << r.pid << "." << r.call_index << ")@[" << r.invoked_at
+       << ',' << r.responded_at << ')';
+    return os.str();
+  };
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    // compare must be irreflexive on every returned timestamp: t < t never.
+    if (cmp(records[i].ts, records[i].ts)) {
+      report.violations.push_back("compare(t,t) true for " +
+                                  describe(records[i]));
+    }
+    for (std::size_t k = 0; k < records.size(); ++k) {
+      if (i == k) continue;
+      const auto& a = records[i];
+      const auto& b = records[k];
+      if (a.happens_before(b)) {
+        ++report.ordered_pairs_checked;
+        if (!cmp(a.ts, b.ts)) {
+          report.violations.push_back("ordered pair but !compare(t1,t2): " +
+                                      describe(a) + " -> " + describe(b));
+        }
+        if (cmp(b.ts, a.ts)) {
+          report.violations.push_back("ordered pair but compare(t2,t1): " +
+                                      describe(a) + " -> " + describe(b));
+        }
+      } else if (i < k && !b.happens_before(a)) {
+        ++report.concurrent_pairs;
+        // No ordering requirement, but compare must not claim both
+        // directions simultaneously (it is a strict order on values).
+        if (cmp(a.ts, b.ts) && cmp(b.ts, a.ts)) {
+          report.violations.push_back("compare true both ways: " +
+                                      describe(a) + " || " + describe(b));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+/// Additionally checks that consecutive calls by the same process received
+/// increasing timestamps (they are ordered by happens-before, so this is a
+/// corollary of the main property; separated for sharper failure messages).
+template <class Ts, class Cmp>
+std::optional<std::string> check_per_process_monotonicity(
+    const std::vector<runtime::CallRecord<Ts>>& records, Cmp cmp) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    for (std::size_t k = 0; k < records.size(); ++k) {
+      const auto& a = records[i];
+      const auto& b = records[k];
+      if (a.pid == b.pid && a.call_index < b.call_index &&
+          !cmp(a.ts, b.ts)) {
+        std::ostringstream os;
+        os << "process p" << a.pid << " calls " << a.call_index << " and "
+           << b.call_index << " not increasing";
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace stamped::verify

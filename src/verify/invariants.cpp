@@ -1,0 +1,137 @@
+#include "verify/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/bounds.hpp"
+
+namespace stamped::verify {
+
+using core::TsRecord;
+using runtime::OpKind;
+
+void SqrtInvariantChecker::attach(Sys& sys) {
+  last_ids_per_register_.assign(
+      static_cast<std::size_t>(sys.num_registers()), {});
+  sys.set_observer([this](const Sys& s,
+                          const runtime::TraceEntry<TsRecord>& e) {
+    on_step(s, e);
+  });
+}
+
+void SqrtInvariantChecker::check_registers(const Sys& sys) const {
+  const int m = sys.num_registers();
+  // ⊥-prefix property: find the frontier, then everything beyond must be ⊥.
+  int frontier = 0;
+  while (frontier < m && !sys.reg_value(frontier).is_bottom) ++frontier;
+  for (int i = frontier; i < m; ++i) {
+    STAMPED_ASSERT_MSG(sys.reg_value(i).is_bottom,
+                       "non-⊥ register " << i << " beyond frontier "
+                                         << frontier);
+  }
+  for (int i = 0; i < frontier; ++i) {
+    const TsRecord& rec = sys.reg_value(i);
+    const auto len = static_cast<int>(rec.seq.size());
+    STAMPED_ASSERT_MSG(len == 1 || len == i + 1,
+                       "register " << i << " holds seq of length " << len
+                                   << " (must be 1 or " << i + 1 << ")");
+    STAMPED_ASSERT_MSG(rec.rnd >= 1, "register " << i << " has rnd < 1");
+    if (len == i + 1 && len > 1) {
+      STAMPED_ASSERT_MSG(rec.rnd == i + 1,
+                         "phase-starter record in register "
+                             << i << " has rnd " << rec.rnd << " != " << i + 1);
+    }
+  }
+}
+
+void SqrtInvariantChecker::on_step(const Sys& sys,
+                                   const runtime::TraceEntry<TsRecord>& e) {
+  ++steps_checked_;
+  if (e.kind == OpKind::kWrite || e.kind == OpKind::kSwap) {
+    STAMPED_ASSERT_MSG(e.reg != sys.num_registers() - 1,
+                       "sentinel register written by p" << e.pid);
+    auto& seen = last_ids_per_register_[static_cast<std::size_t>(e.reg)];
+    const core::TsId last = e.written.last();
+    STAMPED_ASSERT_MSG(std::find(seen.begin(), seen.end(), last) == seen.end(),
+                       "repeated last(seq) " << last.repr() << " written to "
+                                             << e.reg
+                                             << " (Claim 6.1(b) violated)");
+    seen.push_back(last);
+  }
+  check_registers(sys);
+}
+
+std::string PhaseAnalysis::to_string() const {
+  std::ostringstream os;
+  os << "M=" << total_calls << " Phi=" << phases_started << " (bound "
+     << phase_bound << ") invalidations=" << invalidation_writes << " (bound "
+     << invalidation_bound << ") writes=" << total_writes
+     << " max_reg_written=" << max_register_written
+     << " claim6.8=" << (claim_6_8_ok ? "ok" : "VIOLATED")
+     << " monotone=" << (phase_starts_monotone ? "ok" : "VIOLATED");
+  return os.str();
+}
+
+PhaseAnalysis analyze_phases(const runtime::System<core::TsRecord>& sys,
+                             const core::SqrtStats& stats,
+                             std::int64_t total_calls) {
+  PhaseAnalysis out;
+  out.total_calls = total_calls;
+  out.phase_bound = util::bounds::phase_bound(total_calls);
+  out.invalidation_bound = util::bounds::invalidation_bound(total_calls);
+
+  // Phase f (1-based) starts at the earliest scan linearization whose
+  // scanner had myrnd == f-1.
+  std::map<int, std::uint64_t> start_by_phase;
+  for (const auto& scan : stats.scans()) {
+    const int phase = scan.myrnd + 1;
+    auto [it, inserted] = start_by_phase.emplace(phase, scan.linearize_step);
+    if (!inserted) it->second = std::min(it->second, scan.linearize_step);
+  }
+  // Phases must be contiguous (1..Phi) with strictly increasing starts.
+  int expected = 1;
+  std::uint64_t prev_start = 0;
+  for (const auto& [phase, start] : start_by_phase) {
+    if (phase != expected) out.phase_starts_monotone = false;
+    if (phase > 1 && start <= prev_start) out.phase_starts_monotone = false;
+    prev_start = start;
+    ++expected;
+    out.phase_start_step.push_back(start);
+  }
+  out.phases_started = static_cast<int>(start_by_phase.size());
+
+  // Classify every write by phase; the first write to a register within a
+  // phase is an invalidation write.
+  std::set<std::pair<int, int>> seen_phase_reg;  // (phase, reg)
+  for (const auto& e : sys.trace()) {
+    if (e.kind != OpKind::kWrite && e.kind != OpKind::kSwap) continue;
+    ++out.total_writes;
+    out.max_register_written = std::max(out.max_register_written, e.reg);
+    // phase containing step e.index: largest f with start(f) <= e.index.
+    int phase = 0;
+    for (int f = static_cast<int>(out.phase_start_step.size()); f >= 1; --f) {
+      if (out.phase_start_step[static_cast<std::size_t>(f - 1)] <= e.index) {
+        phase = f;
+        break;
+      }
+    }
+    if (phase == 0) {
+      // No write may precede the first phase (the first write in any
+      // execution is the phase-1 starter's, after its scan).
+      out.claim_6_8_ok = false;
+      continue;
+    }
+    // Claim 6.8: during phase f only (1-based) registers 1..f are written,
+    // i.e. 0-based reg < f.
+    if (e.reg >= phase) out.claim_6_8_ok = false;
+    if (seen_phase_reg.emplace(phase, e.reg).second) {
+      ++out.invalidation_writes;
+    }
+  }
+  return out;
+}
+
+}  // namespace stamped::verify

@@ -1,0 +1,89 @@
+// Executable invariants of Algorithm 4 (paper Section 6.1-6.3) and the phase
+// / invalidation-write analysis behind its space bound (Lemma 6.5).
+//
+// Register-state invariants (checked after every simulator step):
+//  - ⊥-prefix: for some k, registers 0..k-1 are non-⊥ and k..m-1 are ⊥
+//    (Claim 6.1 (a)+(d));
+//  - sequence length: a non-⊥ record in (0-based) register i has seq length
+//    1 or i+1 (paper: "length either 1 or j");
+//  - full-length records in register i carry rnd == i+1 (phase-starter
+//    writes, line 15);
+//  - write distinctness: no two writes to the same register ever store the
+//    same last(seq) (Claim 6.1 (b)) — this is what makes the double-collect
+//    scan ABA-free;
+//  - the last register (sentinel) is never written (Lemma 6.14).
+//
+// Phase analysis (from a finished execution + SqrtStats):
+//  - phase f >= 1 starts at the first scan linearization whose scanner had
+//    myrnd == f-1 (Section 6.3);
+//  - only registers R[1..f] (1-based) are written during phase f (Claim 6.8);
+//  - an *invalidation write* is the first write to a register in a phase;
+//    a completed phase f contains exactly f of them (Claim 6.10);
+//  - totals: Phi < 2*sqrt(M) and invalidation writes <= 2M (Claim 6.13),
+//    which give the ceil(2*sqrt(M)) space bound (Lemma 6.5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sqrt_oneshot.hpp"
+#include "core/timestamp.hpp"
+#include "runtime/system.hpp"
+
+namespace stamped::verify {
+
+/// Stateful checker for the register invariants of Algorithm 4. Install via
+/// attach() — it validates the register file after every step and throws
+/// stamped::invariant_error on the first violation.
+class SqrtInvariantChecker {
+ public:
+  using Sys = runtime::System<core::TsRecord>;
+
+  /// Installs this checker as the system observer. The checker must outlive
+  /// the system's execution.
+  void attach(Sys& sys);
+
+  /// Validates the full register file of `sys` (also callable directly).
+  void check_registers(const Sys& sys) const;
+
+  /// Number of steps observed.
+  [[nodiscard]] std::uint64_t steps_checked() const { return steps_checked_; }
+
+ private:
+  void on_step(const Sys& sys, const runtime::TraceEntry<core::TsRecord>& e);
+
+  // last(seq) values previously written per register (Claim 6.1 (b)).
+  std::vector<std::vector<core::TsId>> last_ids_per_register_;
+  std::uint64_t steps_checked_ = 0;
+};
+
+/// Result of the phase / invalidation-write analysis of one execution.
+struct PhaseAnalysis {
+  std::int64_t total_calls = 0;       ///< M
+  int phases_started = 0;             ///< Phi
+  double phase_bound = 0;             ///< 2*sqrt(M), must satisfy Phi < bound
+  std::int64_t invalidation_writes = 0;
+  std::int64_t invalidation_bound = 0;  ///< 2M
+  std::int64_t total_writes = 0;
+  int max_register_written = -1;  ///< 0-based; < ceil(2*sqrt(M)) - 1
+  bool claim_6_8_ok = true;   ///< writes in phase f only to registers < f
+  bool phase_starts_monotone = true;
+  std::vector<std::uint64_t> phase_start_step;  ///< index f-1 -> step
+
+  [[nodiscard]] bool bounds_ok() const {
+    return phases_started < phase_bound &&
+           invalidation_writes <= invalidation_bound && claim_6_8_ok &&
+           phase_starts_monotone;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes the phase analysis of a finished execution. `stats` must have
+/// been attached to every getTS call of the run; `total_calls` is M.
+PhaseAnalysis analyze_phases(const runtime::System<core::TsRecord>& sys,
+                             const core::SqrtStats& stats,
+                             std::int64_t total_calls);
+
+}  // namespace stamped::verify

@@ -1,0 +1,144 @@
+// Tests: the logical-clock lineage (Lamport, vector, matrix clocks) and the
+// message-passing event simulator.
+#include <gtest/gtest.h>
+
+#include "clocks/lamport_clock.hpp"
+#include "clocks/matrix_clock.hpp"
+#include "clocks/vector_clock.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace stamped::clocks;
+
+TEST(LamportClock, TickAndReceive) {
+  LamportClock c;
+  EXPECT_EQ(c.tick(), 1u);
+  EXPECT_EQ(c.tick(), 2u);
+  EXPECT_EQ(c.on_receive(10), 11u);
+  EXPECT_EQ(c.tick(), 12u);
+  EXPECT_EQ(c.on_receive(3), 13u);  // max(13-ish...) stays monotone
+}
+
+TEST(MessagePassing, LamportConditionHolds) {
+  // Lamport's clock condition: e1 -> e2 implies C(e1) < C(e2).
+  MessagePassingRun run(3);
+  const int a = run.local(0);
+  const int s = run.send(0, 1);
+  const int b = run.local(1);
+  const int r = run.receive(s);
+  const int c = run.local(1);
+  const int s2 = run.send(1, 2);
+  const int r2 = run.receive(s2);
+  const auto& ev = run.events();
+  for (int x : {a, s, b, r, c, s2, r2}) {
+    for (int y : {a, s, b, r, c, s2, r2}) {
+      if (run.happens_before(x, y)) {
+        EXPECT_LT(ev[static_cast<std::size_t>(x)].lamport,
+                  ev[static_cast<std::size_t>(y)].lamport)
+            << x << " -> " << y;
+      }
+    }
+  }
+}
+
+TEST(MessagePassing, HappensBeforeBasics) {
+  MessagePassingRun run(2);
+  const int a = run.local(0);
+  const int s = run.send(0, 1);
+  const int b = run.local(1);  // concurrent with a and s
+  const int r = run.receive(s);
+  EXPECT_TRUE(run.happens_before(a, s));
+  EXPECT_TRUE(run.happens_before(s, r));
+  EXPECT_TRUE(run.happens_before(a, r));
+  EXPECT_FALSE(run.happens_before(b, a));
+  EXPECT_FALSE(run.happens_before(a, b));
+  EXPECT_TRUE(run.happens_before(b, r));  // program order at process 1
+  EXPECT_FALSE(run.happens_before(r, b));
+}
+
+TEST(VectorClock, CharacterizesHappensBefore) {
+  // Vector clocks characterize ->: VC(e1) < VC(e2) iff e1 -> e2. Check on a
+  // randomized run against the ground-truth relation.
+  stamped::util::Rng rng(77);
+  MessagePassingRun run(4);
+  std::vector<int> sends;
+  for (int step = 0; step < 200; ++step) {
+    const auto choice = rng.next_below(3);
+    const int pid = static_cast<int>(rng.next_below(4));
+    if (choice == 0) {
+      run.local(pid);
+    } else if (choice == 1) {
+      int dst = static_cast<int>(rng.next_below(4));
+      if (dst == pid) dst = (dst + 1) % 4;
+      sends.push_back(run.send(pid, dst));
+    } else if (!sends.empty()) {
+      const auto pick = rng.next_below(sends.size());
+      run.receive(sends[static_cast<std::size_t>(pick)]);
+      sends.erase(sends.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  const auto& ev = run.events();
+  int checked = 0;
+  for (std::size_t x = 0; x < ev.size(); ++x) {
+    for (std::size_t y = 0; y < ev.size(); ++y) {
+      if (x == y) continue;
+      const VectorClock vx(ev[x].vector_time);
+      const VectorClock vy(ev[y].vector_time);
+      const bool hb = run.happens_before(static_cast<int>(x),
+                                         static_cast<int>(y));
+      EXPECT_EQ(VectorClock::before(vx, vy), hb)
+          << "events " << x << "," << y;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 1000);
+}
+
+TEST(VectorClock, CompareCases) {
+  VectorClock a({1, 2, 3});
+  VectorClock b({2, 2, 3});
+  VectorClock c({0, 5, 3});
+  EXPECT_EQ(VectorClock::compare(a, b), Ordering::kBefore);
+  EXPECT_EQ(VectorClock::compare(b, a), Ordering::kAfter);
+  EXPECT_EQ(VectorClock::compare(a, c), Ordering::kConcurrent);
+  EXPECT_EQ(VectorClock::compare(a, a), Ordering::kEqual);
+  EXPECT_EQ(std::string(ordering_name(Ordering::kConcurrent)), "concurrent");
+}
+
+TEST(VectorClock, MergeAndTick) {
+  VectorClock a(3);
+  a.tick(0);
+  a.tick(0);
+  VectorClock b(3);
+  b.tick(1);
+  b.merge_and_tick(1, a);
+  EXPECT_EQ(b.component(0), 2u);
+  EXPECT_EQ(b.component(1), 2u);
+  EXPECT_EQ(b.component(2), 0u);
+  EXPECT_EQ(b.repr(), "[2 2 0]");
+}
+
+TEST(MatrixClock, WatermarkTracksGlobalKnowledge) {
+  MatrixClock m0(2), m1(2);
+  m0.tick(0);  // p0 event 1
+  m0.tick(0);  // p0 event 2
+  // p0 sends its matrix to p1.
+  m1.merge_and_tick(1, 0, m0);
+  EXPECT_EQ(m1.row(1).component(0), 2u);
+  // p1's watermark still has row0 knowledge of p1 at 0.
+  EXPECT_EQ(m1.watermark().component(1), 0u);
+  // p1 replies; p0 learns that p1 knows p0's events.
+  m0.merge_and_tick(0, 1, m1);
+  EXPECT_EQ(m0.watermark().component(0), 2u);
+}
+
+TEST(MatrixClock, WatermarkIsMinOverRows) {
+  MatrixClock m(3);
+  m.tick(0);
+  // Rows for 1 and 2 know nothing yet: watermark all-zero.
+  const VectorClock w = m.watermark();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(w.component(i), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Fault injection: wait-freedom means every process finishes its getTS in a
+// bounded number of ITS OWN steps, regardless of what other processes do —
+// including crashing (never being scheduled again) at arbitrary points,
+// possibly while covering registers.
+//
+// These tests crash random subsets of processes at random depths and verify
+// that (a) all surviving processes complete, (b) the timestamp property holds
+// among completed calls, and (c) for Algorithm 4 the space bound still holds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/maxscan_longlived.hpp"
+#include "core/simple_oneshot.hpp"
+#include "core/sqrt_oneshot.hpp"
+#include "runtime/scheduler.hpp"
+#include "snapshot/wait_free_snapshot.hpp"
+#include "verify/hb_checker.hpp"
+
+namespace {
+
+using namespace stamped;
+
+/// Crashes each process of `victims` after a random number of its steps,
+/// then runs the survivors to completion under a random schedule. Returns
+/// true if every survivor finished.
+bool crash_and_survive(runtime::ISystem& sys,
+                       const std::vector<int>& victims, util::Rng& rng,
+                       std::uint64_t per_victim_steps) {
+  // Phase 1: advance victims a random distance (they then stop forever).
+  for (int v : victims) {
+    const std::uint64_t steps = rng.next_below(per_victim_steps + 1);
+    for (std::uint64_t s = 0; s < steps && !sys.finished(v); ++s) {
+      sys.step(v);
+    }
+  }
+  // Phase 2: random schedule over survivors only.
+  std::vector<int> survivors;
+  for (int p = 0; p < sys.num_processes(); ++p) {
+    if (std::find(victims.begin(), victims.end(), p) == victims.end()) {
+      survivors.push_back(p);
+    }
+  }
+  std::uint64_t guard = 0;
+  for (;;) {
+    std::vector<int> live;
+    for (int p : survivors) {
+      if (!sys.finished(p)) live.push_back(p);
+    }
+    if (live.empty()) return true;
+    if (++guard > (std::uint64_t{1} << 24)) return false;
+    sys.step(live[static_cast<std::size_t>(rng.next_below(live.size()))]);
+  }
+}
+
+class FaultSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(FaultSweep, SqrtOneShotSurvivesCrashes) {
+  const auto [n, crashes, seed] = GetParam();
+  util::Rng rng(seed);
+  runtime::CallLog<core::PairTimestamp> log;
+  auto sys = core::make_sqrt_oneshot_system(n, &log);
+  std::vector<int> victims;
+  for (int i = 0; i < crashes; ++i) {
+    victims.push_back(static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(n))));
+  }
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+  ASSERT_TRUE(crash_and_survive(*sys, victims, rng, 16));
+  runtime::check_no_failures(*sys);
+  // Survivors' calls satisfy the property; crashed calls never completed.
+  auto report = verify::check_timestamp_property(log.snapshot(),
+                                                 core::Compare{});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // Space bound still holds (crashed processes may cover but not write more).
+  EXPECT_LE(sys->registers_written(), core::sqrt_oneshot_registers(n) - 1);
+}
+
+TEST_P(FaultSweep, SimpleOneShotSurvivesCrashes) {
+  const auto [n, crashes, seed] = GetParam();
+  util::Rng rng(seed ^ 0xabcdef);
+  runtime::CallLog<std::int64_t> log;
+  auto sys = core::make_simple_oneshot_system(n, &log);
+  std::vector<int> victims;
+  for (int i = 0; i < crashes; ++i) {
+    victims.push_back(static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(n))));
+  }
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+  ASSERT_TRUE(crash_and_survive(*sys, victims, rng, 8));
+  auto report = verify::check_timestamp_property(log.snapshot(),
+                                                 core::Compare{});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FaultSweep,
+    ::testing::Combine(::testing::Values(6, 12, 24), ::testing::Values(1, 3, 8),
+                       ::testing::Values(61u, 62u, 63u)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_c" +
+             std::to_string(std::get<1>(info.param)) + "_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(FaultInjection, MaxScanSurvivesCrashes) {
+  const int n = 8;
+  util::Rng rng(7);
+  runtime::CallLog<std::int64_t> log;
+  auto sys = core::make_maxscan_system(n, 3, &log);
+  ASSERT_TRUE(crash_and_survive(*sys, {0, 3, 5}, rng, 12));
+  auto report = verify::check_timestamp_property(log.snapshot(),
+                                                 core::Compare{});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  auto mono = verify::check_per_process_monotonicity(log.snapshot(),
+                                                     core::Compare{});
+  EXPECT_FALSE(mono.has_value()) << *mono;
+}
+
+TEST(FaultInjection, CrashedCoverersDoNotBlockAlgorithm4Scans) {
+  // Crash processes exactly when they are poised to write (covering) — the
+  // scan's double collect must still succeed because a poised write is never
+  // executed.
+  const int n = 12;
+  runtime::CallLog<core::PairTimestamp> log;
+  auto sys = core::make_sqrt_oneshot_system(n, &log);
+  std::unordered_set<int> nothing;
+  for (int v : {0, 1, 2}) {
+    ASSERT_TRUE(
+        runtime::run_solo_until_poised_outside(*sys, v, nothing, 100000));
+    // v is now covering its first write target; never scheduled again.
+  }
+  for (int p = 3; p < n; ++p) {
+    ASSERT_TRUE(runtime::run_solo_until_calls_complete(*sys, p, 1, 100000));
+  }
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(n - 3));
+  auto report = verify::check_timestamp_property(log.snapshot(),
+                                                 core::Compare{});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(FaultInjection, SnapshotScanWaitFreeDespiteCrashedWriters) {
+  const int n = 4;
+  snapshot::ScanLog log;
+  auto sys = snapshot::make_snapshot_system(n, 2, &log);
+  util::Rng rng(3);
+  // Crash writers 0 and 1 mid-flight; writers 2,3 must finish all rounds.
+  ASSERT_TRUE(crash_and_survive(*sys, {0, 1}, rng, 10));
+  runtime::check_no_failures(*sys);
+}
+
+}  // namespace

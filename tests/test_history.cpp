@@ -1,0 +1,130 @@
+// Unit tests: call logs, the happens-before relation, and the timestamp
+// property checker (including that it *detects* violations).
+#include <gtest/gtest.h>
+
+#include "core/timestamp.hpp"
+#include "runtime/history.hpp"
+#include "verify/hb_checker.hpp"
+
+namespace {
+
+using namespace stamped;
+using runtime::CallRecord;
+
+CallRecord<std::int64_t> rec(int pid, int call, std::int64_t ts,
+                             std::uint64_t inv, std::uint64_t resp) {
+  return {pid, call, ts, inv, resp};
+}
+
+TEST(History, HappensBeforeIsResponseBeforeInvocation) {
+  auto a = rec(0, 0, 1, 1, 5);
+  auto b = rec(1, 0, 2, 6, 9);
+  auto c = rec(2, 0, 3, 4, 8);  // overlaps a
+  EXPECT_TRUE(a.happens_before(b));
+  EXPECT_FALSE(b.happens_before(a));
+  EXPECT_FALSE(a.happens_before(c));
+  EXPECT_FALSE(c.happens_before(a));
+}
+
+TEST(History, CallLogRecordsAndSnapshots) {
+  runtime::CallLog<std::int64_t> log;
+  log.record(rec(0, 0, 7, 1, 2));
+  log.record(rec(1, 0, 8, 3, 4));
+  EXPECT_EQ(log.size(), 2u);
+  auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[1].ts, 8);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(History, CallLogRejectsEmptyInterval) {
+  runtime::CallLog<std::int64_t> log;
+  EXPECT_THROW(log.record(rec(0, 0, 1, 5, 5)), stamped::invariant_error);
+}
+
+TEST(HbChecker, AcceptsCorrectHistory) {
+  std::vector<CallRecord<std::int64_t>> records{
+      rec(0, 0, 1, 1, 2), rec(1, 0, 2, 3, 4), rec(2, 0, 3, 5, 6),
+      rec(3, 0, 3, 5, 7),  // concurrent with the previous, equal ts is fine
+  };
+  auto report = verify::check_timestamp_property(records, core::Compare{});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.ordered_pairs_checked, 0u);
+  EXPECT_GT(report.concurrent_pairs, 0u);
+}
+
+TEST(HbChecker, DetectsOrderViolation) {
+  // b happens after a but got a smaller timestamp.
+  std::vector<CallRecord<std::int64_t>> records{rec(0, 0, 5, 1, 2),
+                                                rec(1, 0, 4, 3, 4)};
+  auto report = verify::check_timestamp_property(records, core::Compare{});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.size(), 2u);  // !compare(t1,t2) and compare(t2,t1)
+}
+
+TEST(HbChecker, DetectsEqualTimestampsOnOrderedPair) {
+  std::vector<CallRecord<std::int64_t>> records{rec(0, 0, 5, 1, 2),
+                                                rec(1, 0, 5, 3, 4)};
+  auto report = verify::check_timestamp_property(records, core::Compare{});
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(HbChecker, PairTimestampLexicographic) {
+  using core::PairTimestamp;
+  std::vector<CallRecord<PairTimestamp>> records{
+      {0, 0, PairTimestamp{1, 0}, 1, 2},
+      {1, 0, PairTimestamp{1, 1}, 3, 4},
+      {2, 0, PairTimestamp{2, 0}, 5, 6},
+  };
+  auto report = verify::check_timestamp_property(records, core::Compare{});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(HbChecker, PerProcessMonotonicity) {
+  std::vector<CallRecord<std::int64_t>> good{rec(0, 0, 1, 1, 2),
+                                             rec(0, 1, 2, 3, 4)};
+  EXPECT_FALSE(
+      verify::check_per_process_monotonicity(good, core::Compare{}).has_value());
+  std::vector<CallRecord<std::int64_t>> bad{rec(0, 0, 2, 1, 2),
+                                            rec(0, 1, 1, 3, 4)};
+  EXPECT_TRUE(
+      verify::check_per_process_monotonicity(bad, core::Compare{}).has_value());
+}
+
+TEST(Schedule, ToStringAndParseRoundTrip) {
+  const std::vector<int> sched{0, 3, 1, 1, 2};
+  const std::string text = runtime::schedule_to_string(sched);
+  EXPECT_EQ(runtime::parse_schedule(text), sched);
+}
+
+TEST(Schedule, ToStringTruncatesLongSchedules) {
+  std::vector<int> sched(100, 1);
+  const std::string text = runtime::schedule_to_string(sched, 10);
+  EXPECT_NE(text.find("+90"), std::string::npos);
+}
+
+TEST(Schedule, ParseRejectsGarbage) {
+  EXPECT_THROW(runtime::parse_schedule("1 2 x"), stamped::invariant_error);
+  EXPECT_THROW(runtime::parse_schedule("-4"), stamped::invariant_error);
+}
+
+TEST(Timestamp, ReprFormats) {
+  EXPECT_EQ((core::TsId{3, 2}).repr(), "p3.2");
+  EXPECT_EQ((core::PairTimestamp{4, 1}).repr(), "(4,1)");
+  EXPECT_EQ(core::TsRecord::bottom().repr(), "⊥");
+  auto rec2 = core::TsRecord::make({{1, 0}, {2, 0}}, 2);
+  EXPECT_EQ(rec2.repr(), "<[p1.0 p2.0],2>");
+  EXPECT_EQ(rec2.last(), (core::TsId{2, 0}));
+}
+
+TEST(Timestamp, CompareAlgorithm3) {
+  using core::PairTimestamp;
+  EXPECT_TRUE(core::compare(PairTimestamp{1, 5}, PairTimestamp{2, 0}));
+  EXPECT_TRUE(core::compare(PairTimestamp{2, 0}, PairTimestamp{2, 1}));
+  EXPECT_FALSE(core::compare(PairTimestamp{2, 1}, PairTimestamp{2, 1}));
+  EXPECT_FALSE(core::compare(PairTimestamp{2, 1}, PairTimestamp{2, 0}));
+  EXPECT_FALSE(core::compare(PairTimestamp{3, 0}, PairTimestamp{2, 9}));
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Tests: the long-lived max-scan comparator (n SWMR registers).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/maxscan_longlived.hpp"
+#include "runtime/scheduler.hpp"
+#include "verify/hb_checker.hpp"
+
+namespace {
+
+using namespace stamped;
+
+TEST(MaxScan, UsesExactlyNRegisters) {
+  const int n = 7;
+  auto sys = core::make_maxscan_system(n, 2, nullptr);
+  EXPECT_EQ(sys->num_registers(), n);
+  util::Rng rng(1);
+  runtime::run_random(*sys, rng, 1 << 22);
+  ASSERT_TRUE(sys->all_finished());
+  EXPECT_EQ(sys->registers_written(), n);
+}
+
+TEST(MaxScan, EveryCallTakesNPlusOneSteps) {
+  const int n = 5;
+  auto sys = core::make_maxscan_system(n, 3, nullptr);
+  ASSERT_TRUE(runtime::run_solo_until_calls_complete(*sys, 2, 3, 1000));
+  EXPECT_EQ(sys->steps_taken_by(2), static_cast<std::uint64_t>(3 * (n + 1)));
+}
+
+TEST(MaxScan, SequentialTimestampsAreOneToM) {
+  const int n = 4;
+  runtime::CallLog<std::int64_t> log;
+  auto sys = core::make_maxscan_system(n, 2, &log);
+  for (int round = 0; round < 2; ++round) {
+    for (int p = 0; p < n; ++p) {
+      ASSERT_TRUE(runtime::run_solo_until_calls_complete(*sys, p, 1, 1000));
+    }
+  }
+  auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 8u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].ts, static_cast<std::int64_t>(i + 1));
+  }
+}
+
+class MaxScanProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(MaxScanProperty, HappensBeforeRespected) {
+  const auto [n, calls, seed] = GetParam();
+  runtime::CallLog<std::int64_t> log;
+  auto sys = core::make_maxscan_system(n, calls, &log);
+  util::Rng rng(seed);
+  runtime::run_random(*sys, rng, 1 << 24);
+  ASSERT_TRUE(sys->all_finished());
+  runtime::check_no_failures(*sys);
+  ASSERT_EQ(static_cast<int>(log.size()), n * calls);
+  auto report = verify::check_timestamp_property(log.snapshot(), core::Compare{});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  auto mono =
+      verify::check_per_process_monotonicity(log.snapshot(), core::Compare{});
+  EXPECT_FALSE(mono.has_value()) << *mono;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MaxScanProperty,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 16),
+                       ::testing::Values(1, 3, 6),
+                       ::testing::Values(21u, 22u, 23u)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_c" +
+             std::to_string(std::get<1>(info.param)) + "_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(MaxScan, ConcurrentCallsMayShareTimestamps) {
+  // Two processes that both collect before either writes will compute the
+  // same max — permitted by the weak timestamp specification. This pins down
+  // that the checker treats equal timestamps on concurrent calls as legal.
+  const int n = 2;
+  runtime::CallLog<std::int64_t> log;
+  auto sys = core::make_maxscan_system(n, 1, &log);
+  // Interleave: both collect everything, then both write.
+  runtime::run_script(*sys, std::vector<int>{0, 0, 1, 1, 0, 1});
+  ASSERT_TRUE(sys->all_finished());
+  auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].ts, records[1].ts);
+  auto report = verify::check_timestamp_property(log.snapshot(), core::Compare{});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace

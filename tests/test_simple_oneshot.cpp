@@ -1,0 +1,129 @@
+// Tests: the Section 5 simple one-shot algorithm (ceil(n/2) registers).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/simple_oneshot.hpp"
+#include "runtime/scheduler.hpp"
+#include "verify/hb_checker.hpp"
+
+namespace {
+
+using namespace stamped;
+
+TEST(SimpleOneShot, RegisterCountIsCeilHalfN) {
+  EXPECT_EQ(core::simple_oneshot_registers(1), 1);
+  EXPECT_EQ(core::simple_oneshot_registers(2), 1);
+  EXPECT_EQ(core::simple_oneshot_registers(5), 3);
+  EXPECT_EQ(core::simple_oneshot_registers(8), 4);
+  auto sys = core::make_simple_oneshot_system(9, nullptr);
+  EXPECT_EQ(sys->num_registers(), 5);
+}
+
+TEST(SimpleOneShot, PartnersShareARegister) {
+  EXPECT_EQ(core::simple_own_register(0), 0);
+  EXPECT_EQ(core::simple_own_register(1), 0);
+  EXPECT_EQ(core::simple_own_register(2), 1);
+  EXPECT_EQ(core::simple_own_register(7), 3);
+}
+
+TEST(SimpleOneShot, EveryCallTakesExactlyMPlusTwoSteps) {
+  const int n = 6;
+  auto sys = core::make_simple_oneshot_system(n, nullptr);
+  for (int p = 0; p < n; ++p) {
+    ASSERT_TRUE(runtime::run_solo_until_calls_complete(*sys, p, 1, 1000));
+    EXPECT_EQ(sys->steps_taken_by(p),
+              static_cast<std::uint64_t>(core::simple_oneshot_registers(n)) + 2)
+        << "p=" << p;
+  }
+}
+
+TEST(SimpleOneShot, SequentialTimestampsStrictlyIncrease) {
+  for (int n : {1, 2, 3, 7, 16}) {
+    runtime::CallLog<std::int64_t> log;
+    auto sys = core::make_simple_oneshot_system(n, &log);
+    for (int p = 0; p < n; ++p) {
+      ASSERT_TRUE(runtime::run_solo_until_calls_complete(*sys, p, 1, 1000));
+    }
+    auto records = log.snapshot();
+    ASSERT_EQ(static_cast<int>(records.size()), n);
+    for (int i = 1; i < n; ++i) {
+      EXPECT_LT(records[static_cast<std::size_t>(i - 1)].ts,
+                records[static_cast<std::size_t>(i)].ts)
+          << "n=" << n;
+    }
+    // Sequential execution: the i-th caller reads all previous increments,
+    // so timestamps are exactly 1..n.
+    EXPECT_EQ(records.back().ts, n);
+  }
+}
+
+TEST(SimpleOneShot, RegisterValuesStayInZeroOneTwo) {
+  const int n = 10;
+  auto sys = core::make_simple_oneshot_system(n, nullptr);
+  bool ok = true;
+  sys->set_observer([&](const runtime::System<std::int64_t>& s,
+                        const runtime::TraceEntry<std::int64_t>&) {
+    for (int r = 0; r < s.num_registers(); ++r) {
+      ok = ok && s.reg_value(r) >= 0 && s.reg_value(r) <= 2;
+    }
+  });
+  util::Rng rng(3);
+  runtime::run_random(*sys, rng, 1 << 20);
+  EXPECT_TRUE(sys->all_finished());
+  EXPECT_TRUE(ok);
+}
+
+TEST(SimpleOneShot, TimestampRangeIsBounded) {
+  // Every timestamp is a sum of ceil(n/2) registers each in {0,1,2} and
+  // includes the caller's own increment, so 1 <= ts <= 2*ceil(n/2).
+  const int n = 9;
+  runtime::CallLog<std::int64_t> log;
+  auto sys = core::make_simple_oneshot_system(n, &log);
+  util::Rng rng(4);
+  runtime::run_random(*sys, rng, 1 << 20);
+  ASSERT_TRUE(sys->all_finished());
+  for (const auto& r : log.snapshot()) {
+    EXPECT_GE(r.ts, 1);
+    EXPECT_LE(r.ts, 2 * core::simple_oneshot_registers(n));
+  }
+}
+
+// Property sweep: the timestamp property holds under random adversarial
+// schedules for every (n, seed) combination.
+class SimpleOneShotProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(SimpleOneShotProperty, HappensBeforeRespected) {
+  const auto [n, seed] = GetParam();
+  runtime::CallLog<std::int64_t> log;
+  auto sys = core::make_simple_oneshot_system(n, &log);
+  util::Rng rng(seed);
+  runtime::run_random(*sys, rng, 1 << 22);
+  ASSERT_TRUE(sys->all_finished());
+  runtime::check_no_failures(*sys);
+  ASSERT_EQ(static_cast<int>(log.size()), n);
+  auto report = verify::check_timestamp_property(log.snapshot(), core::Compare{});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimpleOneShotProperty,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 8, 13, 16, 32, 64),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SimpleOneShot, OnlyAllocatedRegistersAreTouched) {
+  for (int n : {2, 5, 12, 33}) {
+    auto sys = core::make_simple_oneshot_system(n, nullptr);
+    util::Rng rng(static_cast<std::uint64_t>(n));
+    runtime::run_random(*sys, rng, 1 << 22);
+    ASSERT_TRUE(sys->all_finished());
+    EXPECT_EQ(sys->registers_written(), core::simple_oneshot_registers(n));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Smoke test: the full core stack — simulator, schedulers, all three
+// timestamp algorithms — on small systems.
+#include <gtest/gtest.h>
+
+#include "core/maxscan_longlived.hpp"
+#include "core/simple_oneshot.hpp"
+#include "core/sqrt_oneshot.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace {
+
+using namespace stamped;
+
+TEST(Smoke, SimpleOneShotSequential) {
+  runtime::CallLog<std::int64_t> log;
+  auto sys = core::make_simple_oneshot_system(4, &log);
+  // Run processes to completion one after another (sequential execution).
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_TRUE(runtime::run_solo_until_calls_complete(*sys, p, 1, 1000));
+  }
+  runtime::check_no_failures(*sys);
+  auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Sequential calls must return strictly increasing timestamps.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_TRUE(core::compare(records[i - 1].ts, records[i].ts))
+        << records[i - 1].ts << " !< " << records[i].ts;
+  }
+}
+
+TEST(Smoke, SqrtOneShotSequential) {
+  runtime::CallLog<core::PairTimestamp> log;
+  auto sys = core::make_sqrt_oneshot_system(6, &log);
+  for (int p = 0; p < 6; ++p) {
+    ASSERT_TRUE(runtime::run_solo_until_calls_complete(*sys, p, 1, 10000));
+  }
+  runtime::check_no_failures(*sys);
+  auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 6u);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_TRUE(core::compare(records[i - 1].ts, records[i].ts));
+    EXPECT_FALSE(core::compare(records[i].ts, records[i - 1].ts));
+  }
+}
+
+TEST(Smoke, SqrtOneShotRoundRobin) {
+  runtime::CallLog<core::PairTimestamp> log;
+  auto sys = core::make_sqrt_oneshot_system(8, &log);
+  runtime::run_round_robin(*sys, 1'000'000);
+  EXPECT_TRUE(sys->all_finished());
+  runtime::check_no_failures(*sys);
+  EXPECT_EQ(log.size(), 8u);
+}
+
+TEST(Smoke, MaxScanLongLived) {
+  runtime::CallLog<std::int64_t> log;
+  auto sys = core::make_maxscan_system(3, 5, &log);
+  util::Rng rng(42);
+  runtime::run_random(*sys, rng, 1'000'000);
+  EXPECT_TRUE(sys->all_finished());
+  runtime::check_no_failures(*sys);
+  EXPECT_EQ(log.size(), 15u);
+}
+
+TEST(Smoke, PendingExposesCovering) {
+  auto sys = core::make_simple_oneshot_system(2, nullptr);
+  // Process 0 reads R[0] first; after that read it writes R[0].
+  auto op0 = sys->pending(0);
+  EXPECT_EQ(op0.kind, runtime::OpKind::kRead);
+  EXPECT_EQ(op0.reg, 0);
+  sys->step(0);
+  auto op1 = sys->pending(0);
+  EXPECT_EQ(op1.kind, runtime::OpKind::kWrite);
+  EXPECT_TRUE(op1.covers(0));
+}
+
+}  // namespace

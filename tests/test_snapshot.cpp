@@ -1,0 +1,169 @@
+// Tests: the double-collect scan and the wait-free snapshot of Afek et al.,
+// including linearizability checks against the simulator's ground truth.
+#include <gtest/gtest.h>
+
+#include "core/maxscan_longlived.hpp"
+#include "runtime/scheduler.hpp"
+#include "snapshot/double_collect.hpp"
+#include "snapshot/wait_free_snapshot.hpp"
+#include "verify/snapshot_checker.hpp"
+
+namespace {
+
+using namespace stamped;
+using snapshot::SnapCell;
+
+// -- double collect over plain int64 registers ------------------------------
+
+using IntSys = runtime::System<std::int64_t>;
+
+runtime::ProcessTask scanning_program(IntSys::Ctx& ctx, int count,
+                                      std::vector<std::int64_t>* out) {
+  auto result = co_await snapshot::double_collect_scan(ctx, count);
+  *out = std::move(result.view);
+  ctx.note_call_complete();
+}
+
+runtime::ProcessTask writer_program(IntSys::Ctx& ctx, int reg, int writes) {
+  for (int k = 1; k <= writes; ++k) {
+    co_await ctx.write(reg, ctx.pid() * 100 + k);
+  }
+}
+
+TEST(DoubleCollect, CleanScanReturnsCurrentValues) {
+  std::vector<std::int64_t> view;
+  std::vector<IntSys::Program> programs;
+  programs.push_back(
+      [&view](IntSys::Ctx& c) { return scanning_program(c, 3, &view); });
+  IntSys sys(3, 7, std::move(programs));
+  runtime::run_round_robin(*&sys, 100);
+  ASSERT_TRUE(sys.all_finished());
+  EXPECT_EQ(view, (std::vector<std::int64_t>{7, 7, 7}));
+  // Two collects of 3 reads each.
+  EXPECT_EQ(sys.steps_taken(), 6u);
+}
+
+TEST(DoubleCollect, RetriesUntilStable) {
+  // A writer invalidates the scanner's first collect; the scan must retry
+  // and eventually return a consistent view.
+  std::vector<std::int64_t> view;
+  std::vector<IntSys::Program> programs;
+  programs.push_back(
+      [&view](IntSys::Ctx& c) { return scanning_program(c, 2, &view); });
+  programs.push_back([](IntSys::Ctx& c) { return writer_program(c, 1, 1); });
+  IntSys sys(2, 0, std::move(programs));
+  // Scanner reads r0, r1 (collect 1), then the writer writes r1, then the
+  // scanner's second collect differs -> third and fourth collects agree.
+  runtime::run_script(*&sys, std::vector<int>{0, 0, 1});
+  runtime::run_round_robin(*&sys, 100);
+  ASSERT_TRUE(sys.all_finished());
+  EXPECT_EQ(view, (std::vector<std::int64_t>{0, 101}));
+}
+
+// -- wait-free snapshot ------------------------------------------------------
+
+TEST(WaitFreeSnapshot, SequentialScanSeesUpdates) {
+  snapshot::ScanLog log;
+  auto sys = snapshot::make_snapshot_system(3, 1, &log);
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_TRUE(runtime::run_solo_until_calls_complete(*sys, p, 2, 10000));
+  }
+  runtime::check_no_failures(*sys);
+  auto scans = log.snapshot();
+  ASSERT_FALSE(scans.empty());
+  // The last recorded scan is by process 2 after all updates completed;
+  // component p holds p*1000 + 1 after round 1.
+  EXPECT_EQ(scans.back().view, (std::vector<std::int64_t>{1, 1001, 2001}));
+}
+
+TEST(WaitFreeSnapshot, AllScansLinearizableUnderRandomSchedules) {
+  for (std::uint64_t seed : {31u, 32u, 33u, 34u}) {
+    for (int n : {2, 3, 5}) {
+      snapshot::ScanLog log;
+      auto sys = snapshot::make_snapshot_system(n, 3, &log);
+      util::Rng rng(seed);
+      runtime::run_random(*sys, rng, 1 << 24);
+      ASSERT_TRUE(sys->all_finished());
+      runtime::check_no_failures(*sys);
+      auto verdict = verify::check_scans_linearizable(*sys, log.snapshot());
+      EXPECT_FALSE(verdict.has_value()) << *verdict << " (n=" << n
+                                        << " seed=" << seed << ")";
+    }
+  }
+}
+
+using SnapSys = runtime::System<SnapCell>;
+
+runtime::ProcessTask pure_scanner_program(SnapSys::Ctx& ctx, int n,
+                                          snapshot::ScanLog* log) {
+  auto view = co_await snapshot::snap_scan(ctx, n, log);
+  (void)view;
+  ctx.note_call_complete();
+}
+
+runtime::ProcessTask triple_updater_program(SnapSys::Ctx& ctx, int pid, int n) {
+  for (int k = 1; k <= 3; ++k) {
+    co_await snapshot::snap_update(ctx, pid, n, 10 + k, k, nullptr);
+    ctx.note_call_complete();
+  }
+}
+
+TEST(WaitFreeSnapshot, EmbeddedViewPathIsExercisedAndLinearizable) {
+  // Force the moved-twice path: the scanner collects, then the writer runs
+  // two *complete* updates between the scanner's collects, so the scanner
+  // observes two sequence changes and must borrow the embedded view.
+  snapshot::ScanLog log;
+  std::vector<SnapSys::Program> programs;
+  programs.push_back(
+      [&log](SnapSys::Ctx& c) { return pure_scanner_program(c, 2, &log); });
+  programs.push_back(
+      [](SnapSys::Ctx& c) { return triple_updater_program(c, 1, 2); });
+  SnapSys sys(2, SnapCell{}, std::move(programs));
+  sys.step(0);  // scanner: collect 1, read r0
+  sys.step(0);  // scanner: collect 1, read r1
+  ASSERT_TRUE(runtime::run_solo_until_calls_complete(sys, 1, 1, 1000));
+  sys.step(0);  // scanner: collect 2, read r0
+  sys.step(0);  // scanner: collect 2, read r1 — differs, moved[1] = 1
+  ASSERT_TRUE(runtime::run_solo_until_calls_complete(sys, 1, 1, 1000));
+  while (!sys.finished(0)) sys.step(0);  // collect 3 — moved[1] = 2
+  runtime::check_no_failures(sys);
+  auto scans = log.snapshot();
+  ASSERT_EQ(scans.size(), 1u);
+  EXPECT_TRUE(scans[0].used_embedded);
+  // The embedded view comes from the writer's second update: it saw its own
+  // first value (11) and an empty component 0.
+  EXPECT_EQ(scans[0].view, (std::vector<std::int64_t>{0, 11}));
+  auto verdict = verify::check_scans_linearizable(sys, scans);
+  EXPECT_FALSE(verdict.has_value()) << *verdict;
+}
+
+TEST(WaitFreeSnapshot, ScanIsWaitFreeBounded) {
+  // A scan needs at most n+2 collects: each repeat is caused by a moved
+  // writer, and after a writer moved twice the scan returns.
+  const int n = 4;
+  snapshot::ScanLog log;
+  auto sys = snapshot::make_snapshot_system(n, 4, &log);
+  util::Rng rng(55);
+  runtime::run_random(*sys, rng, 1 << 24);
+  ASSERT_TRUE(sys->all_finished());
+  for (const auto& scan : log.snapshot()) {
+    const std::uint64_t reads = scan.end_step >= scan.start_step
+                                    ? scan.end_step - scan.start_step
+                                    : 0;
+    // Steps *by all processes* bound the scan's own reads; its own reads are
+    // at most (2n+2) * n (collects are n reads each, one extra for slack).
+    EXPECT_LE(reads, static_cast<std::uint64_t>(1) << 16);
+  }
+  runtime::check_no_failures(*sys);
+}
+
+TEST(SnapCell, ReprAndEquality) {
+  SnapCell a{5, 2, {1, 2}};
+  SnapCell b{5, 2, {1, 2}};
+  SnapCell c{5, 3, {1, 2}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.repr(), "{5#2,[1 2]}");
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Unit tests: util module (math, bounds, rng, table, grid).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bounds.hpp"
+#include "util/grid.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace stamped::util;
+
+TEST(Math, IsqrtExhaustiveSmall) {
+  for (std::int64_t x = 0; x <= 10000; ++x) {
+    const std::int64_t s = isqrt(x);
+    EXPECT_LE(s * s, x);
+    EXPECT_GT((s + 1) * (s + 1), x);
+  }
+}
+
+TEST(Math, IsqrtCeil) {
+  for (std::int64_t x = 1; x <= 10000; ++x) {
+    const std::int64_t s = isqrt_ceil(x);
+    EXPECT_GE(s * s, x);
+    EXPECT_LT((s - 1) * (s - 1), x);
+  }
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(9, 2), 5);
+}
+
+TEST(Math, Logs) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(1023), 10);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Bounds, MatchPaperFormulas) {
+  // Theorem 1.3 / Lemma 6.5: ceil(2*sqrt(M)).
+  EXPECT_EQ(bounds::oneshot_upper_sqrt(1), 2);
+  EXPECT_EQ(bounds::oneshot_upper_sqrt(4), 4);
+  EXPECT_EQ(bounds::oneshot_upper_sqrt(5), 5);  // 2*sqrt(5) = 4.47 -> 5
+  EXPECT_EQ(bounds::oneshot_upper_sqrt(100), 20);
+  // Section 5: ceil(n/2).
+  EXPECT_EQ(bounds::oneshot_upper_simple(7), 4);
+  EXPECT_EQ(bounds::oneshot_upper_simple(8), 4);
+  // Section 4: m = floor(sqrt(2n)).
+  EXPECT_EQ(bounds::oneshot_grid_m(8), 4);
+  EXPECT_EQ(bounds::oneshot_grid_m(50), 10);
+  // Theorem 1.1.
+  EXPECT_DOUBLE_EQ(bounds::longlived_lower(60), 9.0);
+  EXPECT_EQ(bounds::longlived_upper_efr(60), 59);
+  EXPECT_EQ(bounds::longlived_upper_maxscan(60), 60);
+}
+
+TEST(Bounds, UpperDominatesLowerOneShot) {
+  for (std::int64_t n = 2; n <= 1 << 14; n *= 2) {
+    EXPECT_GE(static_cast<double>(bounds::oneshot_upper_sqrt(n)),
+              bounds::oneshot_lower(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Bounds, GapGrowsAsSqrtN) {
+  // The headline separation: long-lived/one-shot ratio ~ sqrt(n)/2.
+  const double r1 = static_cast<double>(bounds::longlived_upper_maxscan(64)) /
+                    static_cast<double>(bounds::oneshot_upper_sqrt(64));
+  const double r2 = static_cast<double>(bounds::longlived_upper_maxscan(4096)) /
+                    static_cast<double>(bounds::oneshot_upper_sqrt(4096));
+  EXPECT_GT(r2, r1 * 4);  // sqrt(4096/64) = 8, allow slack
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRangeAndRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> buckets(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[static_cast<std::size_t>(v)];
+  }
+  for (int b : buckets) {
+    EXPECT_NEAR(b, kDraws / 10, kDraws / 50);
+  }
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  shuffle(v.begin(), v.end(), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t("demo", {"n", "value"});
+  t.add_row({"8", "3.14"});
+  t.add_row_values({16, 2.5});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("2.50"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RejectsWrongWidth) {
+  Table t("x", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), stamped::invariant_error);
+}
+
+TEST(Grid, RendersShading) {
+  const std::string g = render_covering_grid({3, 2, 0}, 4, 1);
+  EXPECT_NE(g.find('#'), std::string::npos);
+  EXPECT_NE(g.find('\\'), std::string::npos);  // the stepped diagonal
+  EXPECT_NE(g.find('<'), std::string::npos);   // highlight marker
+}
+
+TEST(Grid, SummarizeSignature) {
+  EXPECT_EQ(summarize_signature({2, 0, 1}), "sig=(2,0,1) covered=2 total=3");
+}
+
+}  // namespace
