@@ -6,9 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/simple_oneshot.hpp"
@@ -98,9 +101,31 @@ inline void run_with_stallers(runtime::ISystem& sys, util::Rng& rng) {
   drain(0, n / 2);
 }
 
-/// Prints the table and flushes (bench output is consumed by tee).
+/// Slug for a table title: "T2a: one-shot space" -> "T2a_one_shot_space".
+inline std::string title_slug(const std::string& title) {
+  std::string slug;
+  for (char ch : title) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      slug.push_back(ch);
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+/// Prints the table, flushes (bench output is consumed by tee), and writes
+/// the machine-readable BENCH_<slug>.json twin into the working directory.
 inline void emit(const util::Table& table) {
   std::cout << table.render() << std::endl;
+  const std::string path = "BENCH_" + title_slug(table.title()) + ".json";
+  std::ofstream json(path);
+  json << table.render_json() << '\n';
+  json.flush();
+  if (!json) {
+    std::cerr << "warning: could not write " << path << '\n';
+  }
 }
 
 }  // namespace stamped::bench

@@ -42,6 +42,63 @@ std::string Table::fmt(double v, int precision) {
 
 std::string Table::fmt(std::int64_t v) { return std::to_string(v); }
 
+namespace {
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(ch) << std::dec << std::setfill(' ');
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_json_string_array(std::ostringstream& os,
+                              const std::vector<std::string>& items) {
+  os << '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << ',';
+    append_json_string(os, items[i]);
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string Table::render_json() const {
+  std::ostringstream os;
+  os << "{\"title\":";
+  append_json_string(os, title_);
+  os << ",\"headers\":";
+  append_json_string_array(os, headers_);
+  os << ",\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) os << ',';
+    append_json_string_array(os, rows_[r]);
+  }
+  os << "]}";
+  return os.str();
+}
+
 std::string Table::render() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) {

@@ -30,6 +30,12 @@ class Table {
 
   [[nodiscard]] std::string render() const;
 
+  /// Renders the table as a JSON object {"title", "headers", "rows"} with
+  /// rows as arrays of strings. Used by the benchmarks to emit machine-
+  /// readable BENCH_*.json files next to the human-readable text tables.
+  [[nodiscard]] std::string render_json() const;
+
+  [[nodiscard]] const std::string& title() const { return title_; }
   [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
   [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
     return rows_;

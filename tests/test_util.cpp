@@ -151,6 +151,16 @@ TEST(Table, RendersAlignedRows) {
   EXPECT_EQ(t.num_rows(), 2u);
 }
 
+TEST(Table, RendersJson) {
+  Table t("T2a: \"one-shot\" space", {"n", "regs"});
+  t.add_row({"8", "6"});
+  t.add_row({"64", "16"});
+  EXPECT_EQ(t.render_json(),
+            "{\"title\":\"T2a: \\\"one-shot\\\" space\","
+            "\"headers\":[\"n\",\"regs\"],"
+            "\"rows\":[[\"8\",\"6\"],[\"64\",\"16\"]]}");
+}
+
 TEST(Table, RejectsWrongWidth) {
   Table t("x", {"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), stamped::invariant_error);
