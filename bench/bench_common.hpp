@@ -115,6 +115,17 @@ inline std::string title_slug(const std::string& title) {
   return slug;
 }
 
+/// True when the benchmark was invoked with --table-only: print the paper
+/// tables (and write their BENCH_*.json twins) but skip the Google Benchmark
+/// timing section. CI uses this to regenerate the deterministic space tables
+/// cheaply and diff them against bench/baselines/ (tools/bench_diff.py).
+inline bool table_only(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--table-only") return true;
+  }
+  return false;
+}
+
 /// Prints the table, flushes (bench output is consumed by tee), and writes
 /// the machine-readable BENCH_<slug>.json twin into the working directory.
 inline void emit(const util::Table& table) {

@@ -79,6 +79,7 @@ BENCHMARK(BM_LongLivedBuilder)->Arg(24)->Arg(96);
 
 int main(int argc, char** argv) {
   print_table();
+  if (stamped::bench::table_only(argc, argv)) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -106,6 +106,7 @@ BENCHMARK(BM_SqrtOneShotFullRun)->Arg(16)->Arg(64)->Arg(256);
 int main(int argc, char** argv) {
   print_space_table();
   print_adversarial_table();
+  if (stamped::bench::table_only(argc, argv)) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,96 @@
+#include "core/bounded_longlived.hpp"
+
+#include <sstream>
+
+#include "util/math.hpp"
+
+namespace stamped::core {
+
+std::string BoundedLabel::repr() const {
+  std::ostringstream os;
+  os << val << '#' << gen;
+  return os.str();
+}
+
+std::string BoundedTimestamp::repr() const {
+  std::ostringstream os;
+  os << '<';
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << comps[i];
+  }
+  os << ">%" << modulus;
+  return os.str();
+}
+
+int bounded_bits_per_register(std::int32_t modulus) {
+  STAMPED_ASSERT(modulus >= 2);
+  return util::ceil_log2(modulus) + util::ceil_log2(modulus + 1);
+}
+
+bool bounded_before(const BoundedTimestamp& a, const BoundedTimestamp& b) {
+  if (a.modulus != b.modulus || a.comps.size() != b.comps.size()) return false;
+  const std::int32_t k = a.modulus;
+  if (k < 3 || a.comps.empty()) return false;
+  const std::int32_t w = bounded_window(k);
+  bool strict = false;
+  for (std::size_t i = 0; i < a.comps.size(); ++i) {
+    const std::int32_t diff =
+        (((b.comps[i] - a.comps[i]) % k) + k) % k;  // (b_i - a_i) mod K
+    if (diff > w) return false;
+    if (diff >= 1) strict = true;
+  }
+  return strict;
+}
+
+bool bounded_pair_within_window(
+    const std::vector<runtime::CallRecord<BoundedTimestamp>>& all,
+    const runtime::CallRecord<BoundedTimestamp>& a,
+    const runtime::CallRecord<BoundedTimestamp>& b, std::int32_t modulus) {
+  const std::int32_t w = bounded_window(modulus);
+  // Count, per process, the calls overlapping [a.invoked_at, b.responded_at].
+  // Every register tick between the two scans belongs to such a call, so
+  // these counts upper-bound the interim ticks d_i of the window argument.
+  std::vector<std::int64_t> overlapping;
+  for (const auto& r : all) {
+    if (r.responded_at <= a.invoked_at || r.invoked_at >= b.responded_at) {
+      continue;
+    }
+    if (r.pid < 0) continue;
+    if (static_cast<std::size_t>(r.pid) >= overlapping.size()) {
+      overlapping.resize(static_cast<std::size_t>(r.pid) + 1, 0);
+    }
+    if (++overlapping[static_cast<std::size_t>(r.pid)] > w) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<runtime::System<BoundedLabel>> make_bounded_system(
+    int n, int calls_per_process, std::int32_t modulus,
+    runtime::CallLog<BoundedTimestamp>* log, BoundedStats* stats) {
+  STAMPED_ASSERT(n >= 1 && calls_per_process >= 1);
+  if (modulus <= 0) modulus = bounded_modulus_for(calls_per_process);
+  STAMPED_ASSERT_MSG(modulus >= 3,
+                     "bounded modulus must be >= 3, got " << modulus);
+  using Sys = runtime::System<BoundedLabel>;
+  std::vector<Sys::Program> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    programs.push_back(
+        [p, n, modulus, calls_per_process, log, stats](Sys::Ctx& ctx) {
+          return bounded_program(ctx, p, n, modulus, calls_per_process, log,
+                                 stats);
+        });
+  }
+  return std::make_unique<Sys>(n, BoundedLabel{}, std::move(programs));
+}
+
+runtime::SystemFactory bounded_factory(int n, int calls_per_process,
+                                       std::int32_t modulus) {
+  return [n, calls_per_process,
+          modulus]() -> std::unique_ptr<runtime::ISystem> {
+    return make_bounded_system(n, calls_per_process, modulus, nullptr);
+  };
+}
+
+}  // namespace stamped::core

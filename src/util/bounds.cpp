@@ -21,7 +21,18 @@ double oneshot_lower(std::int64_t n) {
 
 std::int64_t oneshot_upper_sqrt(std::int64_t m_calls) {
   // ceil(2 * sqrt(M)): smallest integer m with m >= 2*sqrt(M), i.e. m^2 >= 4M.
-  return isqrt_ceil(4 * m_calls);
+  // Computed without forming 4M (which signed-overflows for M > INT64_MAX/4):
+  // with s = isqrt(M), so s^2 <= M < (s+1)^2, the answer is one of
+  //   2s    when M = s^2          (4M = (2s)^2),
+  //   2s+1  when M <= s^2 + s     ((2s+1)^2 = 4s^2+4s+1 >= 4M),
+  //   2s+2  otherwise             (M < (s+1)^2 gives 4M < (2s+2)^2).
+  if (m_calls <= 0) return 0;
+  const std::int64_t s = isqrt(m_calls);
+  const std::uint64_t um = static_cast<std::uint64_t>(m_calls);
+  const std::uint64_t us = static_cast<std::uint64_t>(s);
+  if (us * us == um) return 2 * s;
+  if (um <= us * us + us) return 2 * s + 1;
+  return 2 * s + 2;
 }
 
 std::int64_t oneshot_upper_simple(std::int64_t n) { return ceil_div(n, 2); }

@@ -12,23 +12,30 @@ constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
   return (a + b - 1) / b;
 }
 
-/// Integer square root: largest s with s*s <= x.
+/// Integer square root: largest s with s*s <= x. Safe for the full int64
+/// range: candidates are squared in uint64, where they always fit — s stays
+/// <= isqrt(INT64_MAX) = 3037000499 and bit <= 2^31 is only added while the
+/// higher bits of s are still clear, so candidate < 2^32 throughout (the old
+/// int64 `candidate * candidate` signed-overflowed — UB — for x near 2^63).
 constexpr std::int64_t isqrt(std::int64_t x) {
   if (x < 0) return 0;
-  std::int64_t s = 0;
-  std::int64_t bit = std::int64_t{1} << 31;
-  while (bit * bit > x) bit >>= 1;
+  const std::uint64_t ux = static_cast<std::uint64_t>(x);
+  std::uint64_t s = 0;
+  std::uint64_t bit = std::uint64_t{1} << 31;
+  while (bit * bit > ux) bit >>= 1;
   for (; bit > 0; bit >>= 1) {
-    const std::int64_t candidate = s + bit;
-    if (candidate * candidate <= x) s = candidate;
+    const std::uint64_t candidate = s + bit;
+    if (candidate * candidate <= ux) s = candidate;
   }
-  return s;
+  return static_cast<std::int64_t>(s);
 }
 
-/// Smallest s with s*s >= x (ceiling of the real square root).
+/// Smallest s with s*s >= x (ceiling of the real square root). The square in
+/// the exactness test is computed in uint64 (s <= 3037000499, so s*s fits).
 constexpr std::int64_t isqrt_ceil(std::int64_t x) {
   const std::int64_t s = isqrt(x);
-  return s * s == x ? s : s + 1;
+  const std::uint64_t us = static_cast<std::uint64_t>(s);
+  return static_cast<std::int64_t>(us * us) == x ? s : s + 1;
 }
 
 /// Floor of log2(x); x must be >= 1.
@@ -53,6 +60,15 @@ static_assert(isqrt(15) == 3);
 static_assert(isqrt(16) == 4);
 static_assert(isqrt_ceil(15) == 4);
 static_assert(isqrt_ceil(16) == 4);
+// Boundary checks at the top of the int64 range (the old implementation hit
+// signed overflow here): 3037000499^2 = 9223372030926249001 <= INT64_MAX
+// < 3037000500^2.
+static_assert(isqrt(std::int64_t{9223372036854775807}) == 3037000499);
+static_assert(isqrt(std::int64_t{9223372030926249001}) == 3037000499);
+static_assert(isqrt(std::int64_t{9223372030926249000}) == 3037000498);
+static_assert(isqrt_ceil(std::int64_t{9223372030926249001}) == 3037000499);
+static_assert(isqrt_ceil(std::int64_t{9223372036854775807}) == 3037000500);
+static_assert(isqrt((std::int64_t{1} << 62)) == std::int64_t{1} << 31);
 static_assert(ceil_div(7, 2) == 4);
 static_assert(floor_log2(8) == 3);
 static_assert(ceil_log2(9) == 4);

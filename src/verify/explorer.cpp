@@ -1,7 +1,6 @@
 #include "verify/explorer.hpp"
 
 #include "runtime/history.hpp"
-#include "util/assert.hpp"
 
 namespace stamped::verify {
 
@@ -25,22 +24,38 @@ class Explorer {
            result_.executions < opts_.max_executions;
   }
 
-  /// `instance.sys` is at the configuration reached by `prefix`.
-  void dfs(ExplorationInstance instance, runtime::Schedule& prefix) {
+  /// True when the whole exploration must halt (as opposed to one branch).
+  bool stopped() {
+    if (result_.depth_exceeded) return true;
     if (!budget_left()) {
       result_.budget_exhausted = true;
-      return;
+      return true;
     }
+    return false;
+  }
+
+  /// `instance.sys` is at the configuration reached by `prefix`.
+  void dfs(ExplorationInstance instance, runtime::Schedule& prefix) {
+    if (stopped()) return;
     if (prefix.size() > result_.max_depth_seen) {
       result_.max_depth_seen = prefix.size();
     }
-    STAMPED_ASSERT_MSG(prefix.size() <= opts_.max_depth,
-                       "explorer exceeded max depth — non-terminating "
-                       "program?");
 
     std::vector<int> candidates;
     for (int p = 0; p < instance.sys->num_processes(); ++p) {
       if (!instance.sys->finished(p)) candidates.push_back(p);
+    }
+
+    // Depth guard (real runtime check, not an assertion): a prefix this long
+    // with live processes means the programs likely never terminate. Record
+    // one violation and stop the whole exploration via stopped().
+    if (!candidates.empty() && prefix.size() >= opts_.max_depth) {
+      result_.depth_exceeded = true;
+      result_.violations.push_back(
+          "max_depth " + std::to_string(opts_.max_depth) +
+          " reached with unfinished processes — non-terminating program? "
+          "[schedule: " + runtime::schedule_to_string(prefix, 256) + "]");
+      return;
     }
 
     if (candidates.empty()) {
@@ -55,10 +70,7 @@ class Explorer {
 
     ++result_.nodes;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (!budget_left()) {
-        result_.budget_exhausted = true;
-        return;
-      }
+      if (stopped()) return;
       ExplorationInstance child;
       if (i + 1 == candidates.size()) {
         // Last sibling may consume the live instance.

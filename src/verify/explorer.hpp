@@ -37,7 +37,10 @@ using InstanceFactory = std::function<ExplorationInstance()>;
 struct ExploreOptions {
   /// Stop after this many complete executions (0 = unlimited).
   std::uint64_t max_executions = 1u << 20;
-  /// Guard against non-terminating programs.
+  /// Guard against non-terminating programs: a schedule prefix reaching this
+  /// length with unfinished processes is recorded as a violation and the
+  /// exploration stops (a real runtime check — not an assertion, so it also
+  /// fires in builds that disable assertions).
   std::uint64_t max_depth = 1u << 14;
 };
 
@@ -46,6 +49,10 @@ struct ExploreResult {
   std::uint64_t nodes = 0;            ///< interior scheduling decisions
   std::uint64_t max_depth_seen = 0;
   bool budget_exhausted = false;
+  /// A schedule prefix hit ExploreOptions::max_depth with live processes
+  /// (non-terminating program?); a violation describing it was recorded and
+  /// the exploration was cut short.
+  bool depth_exceeded = false;
   std::vector<std::string> violations;  ///< "<message> [schedule: ...]"
 
   [[nodiscard]] bool ok() const { return violations.empty(); }

@@ -8,14 +8,19 @@
 // The checker takes the CallLog recorded by the programs and verifies the
 // property over all ordered pairs, plus basic sanity of compare itself
 // (irreflexivity and asymmetry on the returned timestamps).
+//
+// Bounded-universe objects (core/bounded_longlived.hpp) satisfy the property
+// only for pairs within their recycling window; the *_filtered variants take
+// a pair predicate selecting the ordered pairs that carry an obligation.
+// Irreflexivity and asymmetry are universe-wide and stay unconditional.
 #pragma once
 
-#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "runtime/history.hpp"
+#include "runtime/value.hpp"
 
 namespace stamped::verify {
 
@@ -24,6 +29,9 @@ struct HbReport {
   std::vector<std::string> violations;
   std::size_t ordered_pairs_checked = 0;
   std::size_t concurrent_pairs = 0;
+  /// Ordered pairs the pair filter released from their obligation (always 0
+  /// for the unfiltered checkers).
+  std::size_t filtered_pairs = 0;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
 
@@ -31,45 +39,62 @@ struct HbReport {
     std::ostringstream os;
     os << "ordered_pairs=" << ordered_pairs_checked
        << " concurrent_pairs=" << concurrent_pairs
+       << " filtered_pairs=" << filtered_pairs
        << " violations=" << violations.size();
     for (const auto& v : violations) os << "\n  " << v;
     return os.str();
   }
 };
 
-/// Checks the timestamp property on `records` with comparator `cmp`
-/// (cmp(a, b) is the object's compare(a, b)). Quadratic in the number of
-/// calls; intended for test-sized histories.
-template <class Ts, class Cmp>
-HbReport check_timestamp_property(
-    const std::vector<runtime::CallRecord<Ts>>& records, Cmp cmp) {
-  HbReport report;
-  auto describe = [](const runtime::CallRecord<Ts>& r) {
-    std::ostringstream os;
-    os << "getTS(p" << r.pid << "." << r.call_index << ")@[" << r.invoked_at
-       << ',' << r.responded_at << ')';
-    return os.str();
-  };
+namespace detail {
 
+/// "getTS(p0.2)@[3,9)=<ts>" — call coordinates plus the returned timestamp
+/// (timestamps render via runtime::value_repr: to_string for arithmetic
+/// universes, .repr() otherwise).
+template <class Ts>
+std::string describe_call(const runtime::CallRecord<Ts>& r) {
+  std::ostringstream os;
+  os << "getTS(p" << r.pid << "." << r.call_index << ")@[" << r.invoked_at
+     << ',' << r.responded_at << ")=" << runtime::value_repr(r.ts);
+  return os.str();
+}
+
+}  // namespace detail
+
+/// Checks the timestamp property on `records` with comparator `cmp`
+/// (cmp(a, b) is the object's compare(a, b)); an ordered pair (a, b) carries
+/// an obligation only when `pair_filter(a, b)` is true. Quadratic in the
+/// number of calls; intended for test-sized histories.
+template <class Ts, class Cmp, class PairFilter>
+HbReport check_timestamp_property_filtered(
+    const std::vector<runtime::CallRecord<Ts>>& records, Cmp cmp,
+    PairFilter pair_filter) {
+  HbReport report;
   for (std::size_t i = 0; i < records.size(); ++i) {
     // compare must be irreflexive on every returned timestamp: t < t never.
     if (cmp(records[i].ts, records[i].ts)) {
       report.violations.push_back("compare(t,t) true for " +
-                                  describe(records[i]));
+                                  detail::describe_call(records[i]));
     }
     for (std::size_t k = 0; k < records.size(); ++k) {
       if (i == k) continue;
       const auto& a = records[i];
       const auto& b = records[k];
       if (a.happens_before(b)) {
+        if (!pair_filter(a, b)) {
+          ++report.filtered_pairs;
+          continue;
+        }
         ++report.ordered_pairs_checked;
         if (!cmp(a.ts, b.ts)) {
           report.violations.push_back("ordered pair but !compare(t1,t2): " +
-                                      describe(a) + " -> " + describe(b));
+                                      detail::describe_call(a) + " -> " +
+                                      detail::describe_call(b));
         }
         if (cmp(b.ts, a.ts)) {
           report.violations.push_back("ordered pair but compare(t2,t1): " +
-                                      describe(a) + " -> " + describe(b));
+                                      detail::describe_call(a) + " -> " +
+                                      detail::describe_call(b));
         }
       } else if (i < k && !b.happens_before(a)) {
         ++report.concurrent_pairs;
@@ -77,7 +102,8 @@ HbReport check_timestamp_property(
         // directions simultaneously (it is a strict order on values).
         if (cmp(a.ts, b.ts) && cmp(b.ts, a.ts)) {
           report.violations.push_back("compare true both ways: " +
-                                      describe(a) + " || " + describe(b));
+                                      detail::describe_call(a) + " || " +
+                                      detail::describe_call(b));
         }
       }
     }
@@ -85,26 +111,60 @@ HbReport check_timestamp_property(
   return report;
 }
 
+/// The unconditional property: every ordered pair carries an obligation.
+template <class Ts, class Cmp>
+HbReport check_timestamp_property(
+    const std::vector<runtime::CallRecord<Ts>>& records, Cmp cmp) {
+  return check_timestamp_property_filtered(
+      records, cmp,
+      [](const runtime::CallRecord<Ts>&, const runtime::CallRecord<Ts>&) {
+        return true;
+      });
+}
+
 /// Additionally checks that consecutive calls by the same process received
 /// increasing timestamps (they are ordered by happens-before, so this is a
 /// corollary of the main property; separated for sharper failure messages).
-template <class Ts, class Cmp>
-std::optional<std::string> check_per_process_monotonicity(
-    const std::vector<runtime::CallRecord<Ts>>& records, Cmp cmp) {
+/// Collects ALL violations; each message carries both offending timestamps.
+/// `pair_filter` releases pairs from their obligation as above.
+template <class Ts, class Cmp, class PairFilter>
+HbReport check_per_process_monotonicity_filtered(
+    const std::vector<runtime::CallRecord<Ts>>& records, Cmp cmp,
+    PairFilter pair_filter) {
+  HbReport report;
   for (std::size_t i = 0; i < records.size(); ++i) {
     for (std::size_t k = 0; k < records.size(); ++k) {
       const auto& a = records[i];
       const auto& b = records[k];
-      if (a.pid == b.pid && a.call_index < b.call_index &&
-          !cmp(a.ts, b.ts)) {
+      if (a.pid != b.pid || a.call_index >= b.call_index) continue;
+      if (!pair_filter(a, b)) {
+        ++report.filtered_pairs;
+        continue;
+      }
+      ++report.ordered_pairs_checked;
+      if (!cmp(a.ts, b.ts)) {
         std::ostringstream os;
         os << "process p" << a.pid << " calls " << a.call_index << " and "
-           << b.call_index << " not increasing";
-        return os.str();
+           << b.call_index << " not increasing: !compare("
+           << runtime::value_repr(a.ts) << ", " << runtime::value_repr(b.ts)
+           << ") — " << detail::describe_call(a) << " -> "
+           << detail::describe_call(b);
+        report.violations.push_back(os.str());
       }
     }
   }
-  return std::nullopt;
+  return report;
+}
+
+/// Unconditional per-process monotonicity.
+template <class Ts, class Cmp>
+HbReport check_per_process_monotonicity(
+    const std::vector<runtime::CallRecord<Ts>>& records, Cmp cmp) {
+  return check_per_process_monotonicity_filtered(
+      records, cmp,
+      [](const runtime::CallRecord<Ts>&, const runtime::CallRecord<Ts>&) {
+        return true;
+      });
 }
 
 }  // namespace stamped::verify

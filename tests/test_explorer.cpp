@@ -141,6 +141,41 @@ TEST(Explorer, DetectsInjectedViolation) {
   EXPECT_NE(result.violations[0].find("[schedule:"), std::string::npos);
 }
 
+// A program that never terminates: writes register 0 forever.
+runtime::ProcessTask endless_writer_program(BrokenSys::Ctx& ctx) {
+  std::int64_t v = 0;
+  for (;;) {
+    co_await ctx.write(0, ++v);
+  }
+}
+
+TEST(Explorer, DepthGuardStopsNonTerminatingPrograms) {
+  // Before the guard became a runtime check this looped until the assertion
+  // threw (or forever, had assertions been compiled out). Now the explorer
+  // must stop at max_depth, record a violation, and report depth_exceeded.
+  auto factory = []() {
+    std::vector<BrokenSys::Program> programs;
+    programs.push_back(
+        [](BrokenSys::Ctx& ctx) { return endless_writer_program(ctx); });
+    verify::ExplorationInstance inst;
+    inst.sys =
+        std::make_unique<BrokenSys>(1, std::int64_t{0}, std::move(programs));
+    inst.check = []() -> std::optional<std::string> { return std::nullopt; };
+    return inst;
+  };
+  verify::ExploreOptions opts;
+  opts.max_depth = 50;
+  auto result = verify::explore_all_executions(factory, opts);
+  EXPECT_TRUE(result.depth_exceeded);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.executions, 0u);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_EQ(result.max_depth_seen, 50u);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_NE(result.violations[0].find("max_depth 50"), std::string::npos)
+      << result.violations[0];
+}
+
 TEST(Explorer, RespectsExecutionBudget) {
   verify::ExploreOptions opts;
   opts.max_executions = 5;

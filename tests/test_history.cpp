@@ -84,12 +84,55 @@ TEST(HbChecker, PairTimestampLexicographic) {
 TEST(HbChecker, PerProcessMonotonicity) {
   std::vector<CallRecord<std::int64_t>> good{rec(0, 0, 1, 1, 2),
                                              rec(0, 1, 2, 3, 4)};
-  EXPECT_FALSE(
-      verify::check_per_process_monotonicity(good, core::Compare{}).has_value());
+  EXPECT_TRUE(
+      verify::check_per_process_monotonicity(good, core::Compare{}).ok());
   std::vector<CallRecord<std::int64_t>> bad{rec(0, 0, 2, 1, 2),
                                             rec(0, 1, 1, 3, 4)};
-  EXPECT_TRUE(
-      verify::check_per_process_monotonicity(bad, core::Compare{}).has_value());
+  EXPECT_FALSE(
+      verify::check_per_process_monotonicity(bad, core::Compare{}).ok());
+}
+
+TEST(HbChecker, MonotonicityCollectsAllViolationsWithValues) {
+  // Process 0 decreases twice (3 -> 2 -> 1): three violating index pairs
+  // (0,1), (0,2), (1,2). Process 1 is fine and contributes none.
+  std::vector<CallRecord<std::int64_t>> records{
+      rec(0, 0, 3, 1, 2), rec(0, 1, 2, 3, 4), rec(0, 2, 1, 5, 6),
+      rec(1, 0, 1, 1, 2), rec(1, 1, 2, 3, 4),
+  };
+  auto report =
+      verify::check_per_process_monotonicity(records, core::Compare{});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.size(), 3u);
+  // Every message names both offending timestamps.
+  EXPECT_NE(report.violations[0].find("!compare(3, 2)"), std::string::npos)
+      << report.violations[0];
+  EXPECT_NE(report.violations[2].find("!compare(2, 1)"), std::string::npos)
+      << report.violations[2];
+}
+
+TEST(HbChecker, PropertyViolationMessagesIncludeTimestamps) {
+  std::vector<CallRecord<std::int64_t>> records{rec(0, 0, 5, 1, 2),
+                                                rec(1, 0, 4, 3, 4)};
+  auto report = verify::check_timestamp_property(records, core::Compare{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].find(")=5"), std::string::npos)
+      << report.violations[0];
+  EXPECT_NE(report.violations[0].find(")=4"), std::string::npos)
+      << report.violations[0];
+}
+
+TEST(HbChecker, FilteredPairsCarryNoObligation) {
+  // Same decreasing pair as DetectsOrderViolation, but the filter releases
+  // every ordered pair — the report stays clean and counts the release.
+  std::vector<CallRecord<std::int64_t>> records{rec(0, 0, 5, 1, 2),
+                                                rec(1, 0, 4, 3, 4)};
+  auto release_all = [](const CallRecord<std::int64_t>&,
+                        const CallRecord<std::int64_t>&) { return false; };
+  auto report = verify::check_timestamp_property_filtered(
+      records, core::Compare{}, release_all);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.ordered_pairs_checked, 0u);
+  EXPECT_EQ(report.filtered_pairs, 1u);
 }
 
 TEST(Schedule, ToStringAndParseRoundTrip) {

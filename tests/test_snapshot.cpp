@@ -60,6 +60,35 @@ TEST(DoubleCollect, RetriesUntilStable) {
   EXPECT_EQ(view, (std::vector<std::int64_t>{0, 101}));
 }
 
+runtime::ProcessTask full_scan_program(IntSys::Ctx& ctx, int count,
+                                       snapshot::ScanResult<std::int64_t>* out) {
+  *out = co_await snapshot::double_collect_scan(ctx, count);
+  ctx.note_call_complete();
+}
+
+TEST(DoubleCollect, InterferenceForcesThirdCollect) {
+  // The interference path: a write lands between the scanner's first two
+  // collects, so they differ and a third collect is required before two
+  // consecutive collects agree.
+  snapshot::ScanResult<std::int64_t> result;
+  std::vector<IntSys::Program> programs;
+  programs.push_back(
+      [&result](IntSys::Ctx& c) { return full_scan_program(c, 2, &result); });
+  programs.push_back([](IntSys::Ctx& c) { return writer_program(c, 1, 1); });
+  IntSys sys(2, 0, std::move(programs));
+  // Scanner completes collect 1 (reads r0, r1 = {0, 0}), then the writer
+  // writes 101 to r1, invalidating it.
+  runtime::run_script(*&sys, std::vector<int>{0, 0, 1});
+  runtime::run_round_robin(*&sys, 100);
+  ASSERT_TRUE(sys.all_finished());
+  EXPECT_GE(result.collects, 3u);  // exactly one forced retry in this schedule
+  // The final view is consistent: it contains the written value.
+  EXPECT_EQ(result.view, (std::vector<std::int64_t>{0, 101}));
+  // The canonical linearization point is the start of the final collect:
+  // after 2 + 1 + 2 steps (collect 1, the write, collect 2).
+  EXPECT_EQ(result.linearize_step, 5u);
+}
+
 // -- wait-free snapshot ------------------------------------------------------
 
 TEST(WaitFreeSnapshot, SequentialScanSeesUpdates) {

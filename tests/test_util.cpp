@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "util/bounds.hpp"
@@ -27,6 +28,39 @@ TEST(Math, IsqrtCeil) {
     const std::int64_t s = isqrt_ceil(x);
     EXPECT_GE(s * s, x);
     EXPECT_LT((s - 1) * (s - 1), x);
+  }
+}
+
+TEST(Math, IsqrtFullInt64Range) {
+  // These inputs signed-overflowed the pre-hardening implementation (UB);
+  // now they must give the exact floor/ceiling square roots.
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(isqrt(max), 3037000499);
+  EXPECT_EQ(isqrt(std::int64_t{9223372030926249001}), 3037000499);  // exact sq
+  EXPECT_EQ(isqrt(std::int64_t{9223372030926249000}), 3037000498);
+  EXPECT_EQ(isqrt_ceil(max), 3037000500);
+  EXPECT_EQ(isqrt_ceil(std::int64_t{9223372030926249001}), 3037000499);
+  EXPECT_EQ(isqrt(std::int64_t{1} << 62), std::int64_t{1} << 31);
+  EXPECT_EQ(isqrt((std::int64_t{1} << 62) - 1), (std::int64_t{1} << 31) - 1);
+  EXPECT_EQ(isqrt(-5), 0);
+}
+
+TEST(Bounds, OneShotUpperSqrtFullInt64Range) {
+  // ceil(2*sqrt(M)) without forming 4M: the old `isqrt_ceil(4 * m_calls)`
+  // overflowed for M > INT64_MAX/4.
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(bounds::oneshot_upper_sqrt(max), 6074001000);
+  // s^2 and s^2 + s straddle the 2s / 2s+1 / 2s+2 cases at the top.
+  EXPECT_EQ(bounds::oneshot_upper_sqrt(std::int64_t{9223372030926249001}),
+            2 * 3037000499);  // exact square -> 2s
+  EXPECT_EQ(bounds::oneshot_upper_sqrt(std::int64_t{9223372033963249500}),
+            2 * 3037000499 + 1);  // M = s^2 + s -> 2s+1
+  EXPECT_EQ(bounds::oneshot_upper_sqrt(std::int64_t{9223372033963249501}),
+            2 * 3037000499 + 2);  // M = s^2 + s + 1 -> 2s+2
+  EXPECT_EQ(bounds::oneshot_upper_sqrt(0), 0);
+  // Agreement with the naive formula everywhere it is safe.
+  for (std::int64_t m = 1; m <= 5000; ++m) {
+    EXPECT_EQ(bounds::oneshot_upper_sqrt(m), isqrt_ceil(4 * m)) << m;
   }
 }
 

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Diff measured BENCH_*.json tables against the blessed baselines.
+
+The space benches (bench_t1_longlived_space, bench_t2_oneshot_space,
+bench_t7_bounded) are deterministic: their tables are produced by seeded
+schedules, so any drift in measured register counts, covered sets, or bit
+accounting is a real behavior change. CI regenerates the tables with
+`<bench> --table-only` and runs this script against bench/baselines/.
+
+Comparison rules, per cell:
+  - integer cells must match exactly (register counts, wraps, bits);
+  - non-integer numeric cells (analytic bounds like sqrt(2n) - log2 n) are
+    compared with a small absolute tolerance, so a libm ULP difference that
+    moves the second printed decimal does not fail the build;
+  - everything else is compared as a string.
+
+Usage:
+  tools/bench_diff.py --baseline-dir bench/baselines --measured-dir .
+  tools/bench_diff.py --baseline-dir bench/baselines --measured-dir . --update
+
+Exit status: 0 when every baseline table has a matching measured twin, 1 on
+any mismatch or missing file.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+FLOAT_TOLERANCE = 0.02
+
+
+def classify(cell: str):
+    """Returns ('int', v), ('float', v) or ('str', cell)."""
+    try:
+        return "int", int(cell)
+    except ValueError:
+        pass
+    try:
+        return "float", float(cell)
+    except ValueError:
+        return "str", cell
+
+
+def cells_equal(expected: str, measured: str) -> bool:
+    kind_e, val_e = classify(expected)
+    kind_m, val_m = classify(measured)
+    if kind_e != kind_m:
+        return False
+    if kind_e == "int":
+        return val_e == val_m
+    if kind_e == "float":
+        return abs(val_e - val_m) <= FLOAT_TOLERANCE
+    return val_e == val_m
+
+
+def diff_table(name: str, baseline: dict, measured: dict) -> list:
+    problems = []
+    if baseline.get("headers") != measured.get("headers"):
+        problems.append(
+            f"{name}: headers differ\n  baseline: {baseline.get('headers')}"
+            f"\n  measured: {measured.get('headers')}"
+        )
+        return problems
+    rows_b = baseline.get("rows", [])
+    rows_m = measured.get("rows", [])
+    if len(rows_b) != len(rows_m):
+        problems.append(
+            f"{name}: row count {len(rows_m)} != baseline {len(rows_b)}"
+        )
+        return problems
+    headers = baseline.get("headers", [])
+    for r, (row_b, row_m) in enumerate(zip(rows_b, rows_m)):
+        if len(row_b) != len(row_m):
+            problems.append(
+                f"{name}: row {r} has {len(row_m)} cells, "
+                f"baseline has {len(row_b)}"
+            )
+            continue
+        for c, (cell_b, cell_m) in enumerate(zip(row_b, row_m)):
+            if not cells_equal(cell_b, cell_m):
+                col = headers[c] if c < len(headers) else f"col{c}"
+                problems.append(
+                    f"{name}: row {r} [{col}]: measured {cell_m!r} "
+                    f"!= baseline {cell_b!r}"
+                )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True, type=pathlib.Path)
+    parser.add_argument("--measured-dir", default=".", type=pathlib.Path)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy measured tables over the baselines instead of diffing",
+    )
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}")
+        return 1
+
+    problems = []
+    for baseline_path in baselines:
+        measured_path = args.measured_dir / baseline_path.name
+        if not measured_path.exists():
+            problems.append(
+                f"{baseline_path.name}: missing measured table "
+                f"(expected {measured_path}) — did the bench run?"
+            )
+            continue
+        if args.update:
+            baseline_path.write_text(measured_path.read_text())
+            print(f"updated {baseline_path}")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        measured = json.loads(measured_path.read_text())
+        table_problems = diff_table(baseline_path.name, baseline, measured)
+        if table_problems:
+            problems.extend(table_problems)
+        else:
+            rows = len(baseline.get("rows", []))
+            print(f"ok: {baseline_path.name} ({rows} rows)")
+
+    if problems:
+        print(f"\n{len(problems)} problem(s):")
+        for p in problems:
+            print(f"  {p}")
+        print(
+            "\nIf the drift is intentional, re-bless with:\n"
+            "  tools/bench_diff.py --baseline-dir bench/baselines "
+            "--measured-dir <dir> --update"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
