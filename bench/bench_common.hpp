@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "api/harness.hpp"
 #include "core/simple_oneshot.hpp"
 #include "core/sqrt_oneshot.hpp"
 #include "runtime/scheduler.hpp"
@@ -59,20 +60,12 @@ inline std::vector<std::uint64_t> standard_seeds() {
 /// under a fully random schedule almost every call lands in phase 1 (it
 /// observes the phase-1 record and returns without writing), while fully
 /// sequential arrival maximizes the phase count.
+///
+/// Delegates to api::staggered() so there is exactly ONE implementation of
+/// this schedule: t4 (via this shim) and t2 (via the generic driver) consume
+/// the same RNG sequence, keeping their baseline tables comparable.
 inline void run_staggered(runtime::ISystem& sys, int group, util::Rng& rng) {
-  const int n = sys.num_processes();
-  for (int base = 0; base < n; base += group) {
-    const int hi = std::min(n, base + group);
-    std::vector<int> live;
-    for (;;) {
-      live.clear();
-      for (int p = base; p < hi; ++p) {
-        if (!sys.finished(p)) live.push_back(p);
-      }
-      if (live.empty()) break;
-      sys.step(live[static_cast<std::size_t>(rng.next_below(live.size()))]);
-    }
-  }
+  api::staggered(group).drive(sys, rng, std::uint64_t{1} << 32);
 }
 
 /// Staller workload: the first half of the processes run up to (but not

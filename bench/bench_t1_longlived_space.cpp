@@ -9,6 +9,7 @@
 // Expected shape: all columns grow linearly in n; the measured covered count
 // sits between the lower-bound line and the register allocation.
 #include "bench_common.hpp"
+#include "generic_driver.hpp"
 
 #include "adversary/longlived_builder.hpp"
 #include "core/maxscan_longlived.hpp"
@@ -20,6 +21,7 @@ namespace {
 using namespace stamped;
 
 void print_table() {
+  const api::TimestampFamily& maxscan = api::family("maxscan");
   util::Table table(
       "T1: long-lived space vs n (lower n/6-1 | EFR n-1 | max-scan used | "
       "(3,k)-covered)",
@@ -27,16 +29,21 @@ void print_table() {
        "covered_3k", "k=floor(n/2)"});
   for (int n : {6, 12, 24, 48, 96, 192, 384, 768}) {
     // Measured registers written by a full run (every process, 2 calls each).
-    auto sys = core::make_maxscan_system(n, 2, nullptr);
-    util::Rng rng(static_cast<std::uint64_t>(n));
-    runtime::run_random(*sys, rng, std::uint64_t{1} << 32);
-    const int written = sys->registers_written();
+    api::ScenarioSpec spec;
+    spec.n = n;
+    spec.calls_per_process = 2;
+    spec.seed = static_cast<std::uint64_t>(n);
+    const int written =
+        bench::registers_written(maxscan, spec, api::seeded_random());
 
     // The Section 3 construction (covered registers in a (3,k)-config).
+    api::ScenarioSpec adv_spec;
+    adv_spec.n = n;
+    adv_spec.calls_per_process = 8;
     adversary::LongLivedBuilderOptions opts;
     opts.recurrence_rounds = 4;
     auto built = adversary::build_longlived_covering(
-        core::maxscan_factory(n, 8), n, n / 2, opts);
+        maxscan.factory(adv_spec), n, n / 2, opts);
 
     table.add_row({util::Table::fmt(static_cast<std::int64_t>(n)),
                    util::Table::fmt(util::bounds::longlived_lower(n)),

@@ -12,6 +12,7 @@
 // crossover where Algorithm 4 beats simple is around n = 16; the lower-bound
 // curve stays below Algorithm 4's usage-plus-constant.
 #include "bench_common.hpp"
+#include "generic_driver.hpp"
 
 #include "adversary/oneshot_builder.hpp"
 #include "util/bounds.hpp"
@@ -22,23 +23,20 @@ namespace {
 using namespace stamped;
 
 void print_space_table() {
+  const api::TimestampFamily& alg4 = api::family("sqrt-oneshot");
   util::Table table(
       "T2a: one-shot space vs n (lower | simple ceil(n/2) | Alg4 alloc "
       "2*ceil(sqrt n) | Alg4 written seq/random)",
       {"n", "lower", "simple", "alg4_alloc", "alg4_seq", "alg4_stag4",
        "alg4_rand"});
   for (int n : {4, 8, 16, 32, 64, 128, 256, 512}) {
-    const int seq =
-        bench::registers_written_sequential(core::sqrt_oneshot_factory(n));
-    int stag = 0;
-    for (std::uint64_t seed : bench::standard_seeds()) {
-      auto sys = core::sqrt_oneshot_factory(n)();
-      util::Rng rng(seed);
-      bench::run_staggered(*sys, 4, rng);
-      stag = std::max(stag, sys->registers_written());
-    }
-    const int rnd = bench::max_registers_written_random(
-        core::sqrt_oneshot_factory(n), bench::standard_seeds());
+    api::ScenarioSpec spec;
+    spec.n = n;
+    const int seq = bench::registers_written(alg4, spec, api::sequential());
+    const int stag = bench::worst_registers_written(
+        alg4, spec, api::staggered(4), bench::standard_seeds());
+    const int rnd = bench::worst_registers_written(
+        alg4, spec, api::seeded_random(), bench::standard_seeds());
     table.add_row(
         {util::Table::fmt(static_cast<std::int64_t>(n)),
          util::Table::fmt(util::bounds::oneshot_lower(n)),
@@ -59,10 +57,11 @@ void print_adversarial_table() {
        "stop"});
   for (int n : {16, 32, 48, 64}) {
     for (const char* alg : {"alg4", "simple"}) {
-      const auto factory = std::string(alg) == "alg4"
-                               ? core::sqrt_oneshot_factory(n)
-                               : core::simple_oneshot_factory(n);
-      auto result = adversary::build_oneshot_covering(factory, n);
+      const api::TimestampFamily& fam = api::family(
+          std::string(alg) == "alg4" ? "sqrt-oneshot" : "simple-oneshot");
+      api::ScenarioSpec spec;
+      spec.n = n;
+      auto result = adversary::build_oneshot_covering(fam.factory(spec), n);
       table.add_row(
           {util::Table::fmt(static_cast<std::int64_t>(n)),
            util::Table::fmt(static_cast<std::int64_t>(result.m)), alg,

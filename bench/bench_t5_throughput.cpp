@@ -1,165 +1,87 @@
 // T5 — Wait-free getTS throughput under real hardware concurrency.
 //
 // Lemma 6.14 (and Lemma 5.1) make the algorithms wait-free; this harness
-// measures what that costs on real atomics, comparing:
-//   simple (Section 5)  — one-shot, ceil(n/2) int registers
-//   Algorithm 4         — one-shot, 2*ceil(sqrt(n)) record registers
-//   max-scan            — long-lived, n int registers
-//   fetch&add           — non-register baseline (outside the paper's model)
+// measures what that costs on real atomics. The table is generated from
+// api::registry(): every family that provides run_threaded() is timed
+// through the same generic driver (bench/generic_driver.hpp), so adding a
+// family to the registry adds it to this table.
 //
-// Expected shape: fetch&add >> max-scan > simple > Algorithm 4 per call (the
-// record registers pay pointer-swap + allocation costs); all remain wait-free
-// (no run ever stalls).
+// Workload shapes:
+//   (batch)  — one-shot objects are single-use: T threads each take one
+//              timestamp from a fresh object, repeated for 2000/T batches;
+//              object construction and thread spawn are part of the cost.
+//   (M)      — Algorithm 4's bounded-M generalization: persistent threads on
+//              one object, calls_per_thread getTS calls each.
+//   plain    — long-lived objects: persistent threads on one object.
+//
+// Every column runs through the same DirectCtx harness (run_threaded), so
+// the comparison is apples-to-apples: each shared-memory op also ticks the
+// shared event clock that the history machinery uses. In particular the
+// fetchadd column measures the baseline *family* under that harness, not
+// the bare primitive — the bare-atomic cost is BM_FetchAddGetTs in the
+// timing section below.
+//
+// Expected shape: fetch&add >> max-scan > bounded > simple > Algorithm 4 per
+// call (record registers pay pointer-swap + allocation costs); all remain
+// wait-free (no run ever stalls).
 #include "bench_common.hpp"
+#include "generic_driver.hpp"
 
 #include <atomic>
-#include <chrono>
-#include <thread>
 
 #include "atomicmem/atomic_memory.hpp"
 #include "core/fetchadd_baseline.hpp"
-#include "core/maxscan_longlived.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace stamped;
 using atomicmem::AtomicMemory;
-using atomicmem::DirectCtx;
-using Clock = std::chrono::steady_clock;
 
-double ops_per_sec(std::uint64_t ops, Clock::duration d) {
-  const double secs =
-      std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
-  return secs > 0 ? static_cast<double>(ops) / secs : 0.0;
-}
+/// One column of the throughput table: a registry family plus its workload
+/// shape. calls == 1 selects batch mode (2000/T single-use batches); larger
+/// values run persistent threads on one object.
+struct Workload {
+  const char* family;
+  const char* label;
+  int calls_per_thread;
+};
 
-/// One-shot rounds: T threads repeatedly run complete n=T one-shot batches;
-/// each batch uses a fresh object. Reports getTS calls per second.
-template <class MakeBatch>
-double oneshot_throughput(int threads, int batches, MakeBatch&& run_batch) {
-  const auto start = Clock::now();
-  for (int b = 0; b < batches; ++b) run_batch(threads);
-  return ops_per_sec(static_cast<std::uint64_t>(threads) *
-                         static_cast<std::uint64_t>(batches),
-                     Clock::now() - start);
-}
-
-double simple_batch_throughput(int threads, int batches) {
-  return oneshot_throughput(threads, batches, [](int t) {
-    AtomicMemory<std::int64_t> mem(core::simple_oneshot_registers(t), 0);
-    std::atomic<std::uint64_t> clock{0};
-    std::vector<std::jthread> workers;
-    for (int p = 0; p < t; ++p) {
-      workers.emplace_back([&, p] {
-        DirectCtx<std::int64_t> ctx(&mem, p, &clock);
-        auto task = core::simple_getts_program(ctx, p, t, nullptr);
-        task.handle().resume();
-      });
-    }
-  });
-}
-
-double sqrt_batch_throughput(int threads, int batches) {
-  return oneshot_throughput(threads, batches, [](int t) {
-    const int m = core::sqrt_oneshot_registers(t);
-    AtomicMemory<core::TsRecord> mem(m, core::TsRecord::bottom());
-    std::atomic<std::uint64_t> clock{0};
-    std::vector<std::jthread> workers;
-    for (int p = 0; p < t; ++p) {
-      workers.emplace_back([&, p] {
-        DirectCtx<core::TsRecord> ctx(&mem, p, &clock);
-        auto task = core::sqrt_getts_program(ctx, core::TsId{p, 0}, m,
-                                             nullptr, nullptr);
-        task.handle().resume();
-      });
-    }
-  });
-}
-
-/// Persistent threads on one bounded-M Algorithm 4 object: each of T threads
-/// performs `calls_per_thread` getTS calls (M = T * calls). Measures the
-/// per-call cost without thread spawn or object construction.
-double sqrt_bounded_throughput(int threads, int calls_per_thread) {
-  const std::int64_t total =
-      static_cast<std::int64_t>(threads) * calls_per_thread;
-  const int m = core::sqrt_oneshot_registers(total);
-  AtomicMemory<core::TsRecord> mem(m, core::TsRecord::bottom());
-  std::atomic<std::uint64_t> clock{0};
-  const auto start = Clock::now();
-  {
-    std::vector<std::jthread> workers;
-    for (int p = 0; p < threads; ++p) {
-      workers.emplace_back([&, p] {
-        DirectCtx<core::TsRecord> ctx(&mem, p, &clock);
-        auto task = core::sqrt_calls_program(ctx, p, calls_per_thread, m,
-                                             nullptr, nullptr);
-        task.handle().resume();
-      });
-    }
-  }
-  return ops_per_sec(static_cast<std::uint64_t>(total), Clock::now() - start);
-}
-
-double maxscan_throughput(int threads, int calls_per_thread) {
-  AtomicMemory<std::int64_t> mem(threads, 0);
-  std::atomic<std::uint64_t> clock{0};
-  const auto start = Clock::now();
-  {
-    std::vector<std::jthread> workers;
-    for (int p = 0; p < threads; ++p) {
-      workers.emplace_back([&, p] {
-        DirectCtx<std::int64_t> ctx(&mem, p, &clock);
-        auto task =
-            core::maxscan_program(ctx, p, threads, calls_per_thread, nullptr);
-        task.handle().resume();
-      });
-    }
-  }
-  return ops_per_sec(static_cast<std::uint64_t>(threads) *
-                         static_cast<std::uint64_t>(calls_per_thread),
-                     Clock::now() - start);
-}
-
-double fetchadd_throughput(int threads, int calls_per_thread) {
-  core::FetchAddTimestamp ts;
-  const auto start = Clock::now();
-  {
-    std::vector<std::jthread> workers;
-    for (int p = 0; p < threads; ++p) {
-      workers.emplace_back([&] {
-        for (int k = 0; k < calls_per_thread; ++k) {
-          benchmark::DoNotOptimize(ts.getts());
-        }
-      });
-    }
-  }
-  return ops_per_sec(static_cast<std::uint64_t>(threads) *
-                         static_cast<std::uint64_t>(calls_per_thread),
-                     Clock::now() - start);
-}
+constexpr Workload kWorkloads[] = {
+    {"simple-oneshot", "simple(batch)", 1},
+    {"sqrt-oneshot", "alg4(batch)", 1},
+    {"growing-oneshot", "growing(batch)", 1},
+    {"sqrt-oneshot", "alg4(M=4000/thr)", 4000},
+    {"maxscan", "maxscan", 50000},
+    {"bounded", "bounded", 10000},
+    {"fetchadd", "fetchadd", 200000},
+};
 
 void print_table() {
-  util::Table table(
-      "T5: getTS throughput (ops/sec), real threads",
-      {"threads", "simple(batch)", "alg4(batch)", "alg4(bounded-M)",
-       "maxscan", "fetchadd"});
+  std::vector<std::string> headers{"threads"};
+  for (const Workload& w : kWorkloads) headers.emplace_back(w.label);
+  util::Table table("T5: getTS throughput (ops/sec), real threads",
+                    std::move(headers));
   for (int t : {1, 2, 4, 8}) {
-    const double simple = simple_batch_throughput(t, 2000 / t);
-    const double alg4 = sqrt_batch_throughput(t, 2000 / t);
-    const double alg4_bounded = sqrt_bounded_throughput(t, 4000);
-    const double maxscan = maxscan_throughput(t, 50000);
-    const double fa = fetchadd_throughput(t, 200000);
-    table.add_row({util::Table::fmt(static_cast<std::int64_t>(t)),
-                   util::Table::fmt(simple, 0), util::Table::fmt(alg4, 0),
-                   util::Table::fmt(alg4_bounded, 0),
-                   util::Table::fmt(maxscan, 0), util::Table::fmt(fa, 0)});
+    std::vector<std::string> row{util::Table::fmt(static_cast<std::int64_t>(t))};
+    for (const Workload& w : kWorkloads) {
+      const api::TimestampFamily& fam = api::family(w.family);
+      STAMPED_ASSERT_MSG(fam.run_threaded != nullptr,
+                         "family '" << fam.name << "' has no threaded form");
+      api::ScenarioSpec spec;
+      spec.n = t;
+      spec.calls_per_process = w.calls_per_thread;
+      const int batches = w.calls_per_thread == 1 ? 2000 / t : 1;
+      row.push_back(
+          util::Table::fmt(bench::threaded_throughput(fam, spec, batches), 0));
+    }
+    table.add_row(std::move(row));
   }
   bench::emit(table);
-  std::cout << "note: the (batch) columns include per-batch object "
-               "construction and thread spawn (one-shot objects are "
-               "single-use); (bounded-M) uses persistent threads on one "
-               "bounded-M object — the per-call cost.\n\n";
+  std::cout << "note: (batch) columns include per-batch object construction "
+               "and thread spawn (one-shot objects are single-use); the "
+               "other columns use persistent threads on one object — the "
+               "per-call cost.\n\n";
 }
 
 void BM_FetchAddGetTs(benchmark::State& state) {
@@ -171,7 +93,6 @@ BENCHMARK(BM_FetchAddGetTs)->Threads(1)->Threads(2)->Threads(4);
 
 void BM_MaxScanGetTsThreaded(benchmark::State& state) {
   static AtomicMemory<std::int64_t> mem(16, 0);
-  static std::atomic<std::uint64_t> clock{0};
   const int pid = state.thread_index() % 16;
   std::int64_t mx = 0;
   for (auto _ : state) {
@@ -187,6 +108,7 @@ BENCHMARK(BM_MaxScanGetTsThreaded)->Threads(1)->Threads(2)->Threads(4);
 
 int main(int argc, char** argv) {
   print_table();
+  if (stamped::bench::table_only(argc, argv)) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

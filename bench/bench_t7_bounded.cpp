@@ -14,6 +14,7 @@
 //         count (2*sqrt(M) << n for large n) but its registers hold
 //         unbounded id-sequences; the bounded object wins on width.
 #include "bench_common.hpp"
+#include "generic_driver.hpp"
 
 #include "core/bounded_longlived.hpp"
 #include "core/maxscan_longlived.hpp"
@@ -28,6 +29,7 @@ using namespace stamped;
 constexpr int kCallsPerProcess = 4;
 
 void print_bits_table() {
+  const api::TimestampFamily& bounded = api::family("bounded");
   const int calls = kCallsPerProcess;
   const std::int32_t k = core::bounded_modulus_for(calls);
   // The wraps column runs the same workload with K = 3 < 2C+1: components
@@ -41,23 +43,18 @@ void print_bits_table() {
        "bounded_bits_reg", "bounded_bits_total", "bounded_written",
        "wraps_K3"});
   for (int n : {4, 8, 16, 32, 64, 128}) {
-    int written = 0;
-    std::uint64_t wraps = 0;
-    for (std::uint64_t seed : bench::standard_seeds()) {
-      auto sys = core::make_bounded_system(n, calls, k, nullptr);
-      util::Rng rng(seed);
-      runtime::run_random(*sys, rng, std::uint64_t{1} << 32);
-      runtime::check_no_failures(*sys);
-      written = std::max(written, sys->registers_written());
+    api::ScenarioSpec spec;
+    spec.n = n;
+    spec.calls_per_process = calls;
+    spec.universe_bound = k;
+    const int written = bench::worst_registers_written(
+        bounded, spec, api::seeded_random(), bench::standard_seeds());
 
-      core::BoundedStats stats;
-      auto recycled = core::make_bounded_system(n, calls, k_small, nullptr,
-                                                &stats);
-      util::Rng rng2(seed);
-      runtime::run_random(*recycled, rng2, std::uint64_t{1} << 32);
-      runtime::check_no_failures(*recycled);
-      wraps = std::max(wraps, stats.wraps());
-    }
+    api::ScenarioSpec recycled = spec;
+    recycled.universe_bound = k_small;
+    const std::int64_t wraps =
+        bench::worst_metric(bounded, recycled, api::seeded_random(),
+                            bench::standard_seeds(), "wraps");
     const int bits_reg = core::bounded_bits_per_register(k);
     table.add_row(
         {util::Table::fmt(static_cast<std::int64_t>(n)),
@@ -74,6 +71,8 @@ void print_bits_table() {
 }
 
 void print_vs_sqrt_table() {
+  const api::TimestampFamily& alg4 = api::family("sqrt-oneshot");
+  const api::TimestampFamily& bounded = api::family("bounded");
   const int calls = kCallsPerProcess;
   const std::int32_t k = core::bounded_modulus_for(calls);
   util::Table table(
@@ -83,14 +82,15 @@ void print_vs_sqrt_table() {
        "bounded_written", "bounded_bits_reg"});
   for (int n : {4, 8, 16, 32, 64, 128}) {
     const std::int64_t m_calls = static_cast<std::int64_t>(n) * calls;
-    const runtime::SystemFactory alg4_factory =
-        [n, calls]() -> std::unique_ptr<runtime::ISystem> {
-      return core::make_sqrt_bounded_system(n, calls, nullptr);
-    };
-    const int alg4_written = bench::max_registers_written_random(
-        alg4_factory, bench::standard_seeds());
-    const int bounded_written = bench::max_registers_written_random(
-        core::bounded_factory(n, calls, k), bench::standard_seeds());
+    api::ScenarioSpec spec;
+    spec.n = n;
+    spec.calls_per_process = calls;
+    const int alg4_written = bench::worst_registers_written(
+        alg4, spec, api::seeded_random(), bench::standard_seeds());
+    api::ScenarioSpec bounded_spec = spec;
+    bounded_spec.universe_bound = k;
+    const int bounded_written = bench::worst_registers_written(
+        bounded, bounded_spec, api::seeded_random(), bench::standard_seeds());
     table.add_row(
         {util::Table::fmt(static_cast<std::int64_t>(n)),
          util::Table::fmt(m_calls),

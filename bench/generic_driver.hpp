@@ -1,0 +1,86 @@
+// The registry-parametrized space/throughput driver shared by the table
+// benchmarks. Every bench used to hand-wire make_X_system + scheduler per
+// family; these helpers run any api::TimestampFamily under any
+// api::ScheduleSource and report the space/throughput quantities the paper's
+// tables tabulate. History checking is disabled here (the conformance test
+// suite owns correctness); the benches only measure.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/harness.hpp"
+#include "api/registry.hpp"
+
+namespace stamped::bench {
+
+/// One scenario run, checks off. Spec seeds come from the caller so tables
+/// stay deterministic.
+inline api::ScenarioReport run_measured(const api::TimestampFamily& family,
+                                        const api::ScenarioSpec& spec,
+                                        const api::ScheduleSource& source) {
+  return api::Harness{}.run_scenario(family, spec, source,
+                                     api::Checkers::none());
+}
+
+/// Distinct registers written by one run of `family` under `source`.
+inline int registers_written(const api::TimestampFamily& family,
+                             const api::ScenarioSpec& spec,
+                             const api::ScheduleSource& source) {
+  return run_measured(family, spec, source).registers_written;
+}
+
+/// Worst-case registers written across `seeds` (the space benches report the
+/// adversarially worst seed).
+inline int worst_registers_written(const api::TimestampFamily& family,
+                                   api::ScenarioSpec spec,
+                                   const api::ScheduleSource& source,
+                                   const std::vector<std::uint64_t>& seeds) {
+  int worst = 0;
+  for (const std::uint64_t seed : seeds) {
+    spec.seed = seed;
+    const int written = registers_written(family, spec, source);
+    if (written > worst) worst = written;
+  }
+  return worst;
+}
+
+/// Worst-case value of a named family metric (e.g. the bounded family's
+/// "wraps") across `seeds`.
+inline std::int64_t worst_metric(const api::TimestampFamily& family,
+                                 api::ScenarioSpec spec,
+                                 const api::ScheduleSource& source,
+                                 const std::vector<std::uint64_t>& seeds,
+                                 const std::string& key) {
+  std::int64_t worst = 0;
+  for (const std::uint64_t seed : seeds) {
+    spec.seed = seed;
+    const auto report = run_measured(family, spec, source);
+    for (const auto& [name, value] : report.metrics) {
+      if (name == key && value > worst) worst = value;
+    }
+  }
+  return worst;
+}
+
+/// Real-thread throughput of `family` (getTS calls per second): times
+/// `batches` consecutive run_threaded(spec) executions. For one-shot
+/// families each batch is a fresh single-use object (construction and thread
+/// spawn included, as a user would pay them); long-lived families amortize
+/// one object over calls_per_process calls.
+inline double threaded_throughput(const api::TimestampFamily& family,
+                                  const api::ScenarioSpec& spec,
+                                  int batches) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  for (int b = 0; b < batches; ++b) family.run_threaded(spec);
+  const double secs = std::chrono::duration_cast<
+                          std::chrono::duration<double>>(Clock::now() - start)
+                          .count();
+  const double ops = static_cast<double>(spec.total_calls()) * batches;
+  return secs > 0 ? ops / secs : 0.0;
+}
+
+}  // namespace stamped::bench

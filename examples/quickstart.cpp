@@ -1,53 +1,86 @@
-// Quickstart: one-shot timestamps from 2*ceil(sqrt(n)) registers under real
-// threads (Algorithm 4 / Theorem 1.3).
+// Quickstart: the unified timestamp-family API.
 //
 //   build/examples/quickstart
 //
-// Eight threads each acquire one timestamp; we then verify the timestamp
-// property on the recorded history and print the result.
+// One registry, six families, one harness. We pick the asymptotically
+// space-optimal one-shot family (Algorithm 4 / Theorem 1.3), run it for
+// eight processes under a random schedule with the timestamp-property
+// checkers on, and print the structured report — then sweep every registered
+// family through the same scenario shape to show the comparative table the
+// paper is about.
 #include <algorithm>
 #include <iostream>
 
-#include "atomicmem/atomic_memory.hpp"
-#include "core/sqrt_oneshot.hpp"
-#include "verify/hb_checker.hpp"
+#include "api/harness.hpp"
+#include "api/registry.hpp"
 
 int main() {
   using namespace stamped;
-  constexpr int kThreads = 8;
-  const int m = core::sqrt_oneshot_registers(kThreads);
+  constexpr int kProcesses = 8;
 
-  std::cout << "one-shot timestamp object for " << kThreads << " processes: "
-            << m << " registers (vs " << kThreads
-            << " for the long-lived construction)\n\n";
+  // --- one family in detail -----------------------------------------------
+  const api::TimestampFamily& alg4 = api::family("sqrt-oneshot");
+  api::ScenarioSpec spec;
+  spec.n = kProcesses;
+  spec.seed = 42;
 
-  runtime::CallLog<core::PairTimestamp> log;
-  atomicmem::ThreadedHarness<core::TsRecord> harness(m,
-                                                     core::TsRecord::bottom());
-  std::vector<atomicmem::ThreadedHarness<core::TsRecord>::Program> programs;
-  for (int p = 0; p < kThreads; ++p) {
-    programs.push_back([p, m, &log](atomicmem::DirectCtx<core::TsRecord>& ctx) {
-      return core::sqrt_getts_program(ctx, core::TsId{p, 0}, m, &log,
-                                      nullptr);
-    });
-  }
-  harness.run(programs);
+  std::cout << alg4.name << ": " << alg4.summary << "\n  universe: "
+            << alg4.universe << "\n  allocates "
+            << alg4.registers_allocated(spec) << " registers for n="
+            << kProcesses << " (vs " << kProcesses
+            << " for the long-lived max-scan construction)\n\n";
 
-  auto records = log.snapshot();
-  std::sort(records.begin(), records.end(),
-            [](const auto& a, const auto& b) {
-              return core::compare(a.ts, b.ts);
+  auto instance = alg4.make(spec);
+  util::Rng rng(spec.seed);
+  api::seeded_random().drive(instance->system(), rng, 1u << 24);
+  runtime::check_no_failures(instance->system());
+  bool all_ok = instance->system().all_finished();
+
+  const api::GenericCallLog log = instance->calls();
+  std::vector<std::size_t> order(log.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&log](std::size_t a, std::size_t b) {
+              return log.before(log.records[a].ts, log.records[b].ts);
             });
-  std::cout << "timestamps (sorted by compare):\n";
-  for (const auto& rec : records) {
-    std::cout << "  p" << rec.pid << " -> " << rec.ts.repr() << "  interval=["
-              << rec.invoked_at << ',' << rec.responded_at << ")\n";
+  std::cout << "timestamps (sorted by the family's own compare):\n";
+  for (std::size_t i : order) {
+    const api::GenericCallRecord& rec = log.records[i];
+    std::cout << "  p" << rec.pid << " -> " << log.ts_repr(rec.ts)
+              << "  interval=[" << rec.invoked_at << ',' << rec.responded_at
+              << ")\n";
   }
 
-  auto report = verify::check_timestamp_property(records, core::Compare{});
-  std::cout << "\ntimestamp property: "
-            << (report.ok() ? "OK" : "VIOLATED") << " ("
-            << report.ordered_pairs_checked << " ordered pairs, "
-            << report.concurrent_pairs << " concurrent pairs)\n";
-  return report.ok() ? 0 : 1;
+  // Timestamp property of the exact run printed above, via the type-erased
+  // log: every ordered pair must compare forward and not backward.
+  std::size_t ordered = 0;
+  std::size_t bad = 0;
+  for (const api::GenericCallRecord& a : log.records) {
+    for (const api::GenericCallRecord& b : log.records) {
+      if (!a.happens_before(b) || !log.obligated(a, b)) continue;
+      ++ordered;
+      if (!log.before(a.ts, b.ts) || log.before(b.ts, a.ts)) ++bad;
+    }
+  }
+  std::cout << "\nthis run: " << ordered << " ordered pairs, " << bad
+            << " violations\n";
+  all_ok = all_ok && bad == 0;
+
+  // --- every family through the same harness ------------------------------
+  // The sweep drives every registered family (long-lived families with two
+  // calls per process) with the property checkers on; together with the
+  // check above it forms the exit status that the ctest smoke registration
+  // of this example gates on.
+  std::cout << "\nall registered families, same scenario, checkers on:\n";
+  for (const api::TimestampFamily& fam : api::registry()) {
+    api::ScenarioSpec s = spec;
+    if (fam.max_calls_per_process == 0) s.calls_per_process = 2;
+    const api::ScenarioReport report =
+        api::Harness{}.run_scenario(fam, s, api::seeded_random());
+    std::cout << "  " << report.summary() << '\n';
+    all_ok = all_ok && report.ok() && report.all_finished;
+  }
+  std::cout << (all_ok ? "\ntimestamp property: OK for every family\n"
+                       : "\ntimestamp property: VIOLATED\n");
+  return all_ok ? 0 : 1;
 }

@@ -1,0 +1,175 @@
+// TimestampFamily: one first-class descriptor per timestamp implementation.
+//
+// Every algorithm in this library used to expose its own ad-hoc
+// make_X_system / X_factory / X_program trio with divergent value and log
+// types, so every comparison (tests, space benches, examples) was hand-wired
+// per family. A TimestampFamily erases those differences behind:
+//   - metadata: name, lifetime kind, timestamp universe, paper reference,
+//     the paper's space bound as a callable of the scenario;
+//   - make(spec): a live FamilyInstance — simulated system + typed call log
+//     behind the GenericCallLog view;
+//   - factory(spec): a deterministic runtime::SystemFactory for the
+//     replay-based adversaries and the exhaustive explorer;
+//   - run_threaded(spec): the same scenario on real hardware threads
+//     (atomicmem backend), when the family supports it.
+//
+// api::registry() enumerates all families; harness.hpp composes any of them
+// with any schedule source and the history checkers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/scenario.hpp"
+#include "runtime/history.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/system.hpp"
+
+namespace stamped::api {
+
+/// Family-specific counters surfaced in ScenarioReport (e.g. the bounded
+/// family's label recycles, Algorithm 4's double-collect scans).
+using Metrics = std::vector<std::pair<std::string, std::int64_t>>;
+
+/// A live scenario: the simulated system plus the typed history it records,
+/// viewed type-erased. The instance owns the typed CallLog that the system's
+/// programs write into, so it must outlive the system — take_system() hands
+/// out ownership of the system alone (explorer composition) while the logs
+/// stay with the instance.
+class FamilyInstance {
+ public:
+  virtual ~FamilyInstance() = default;
+  FamilyInstance(const FamilyInstance&) = delete;
+  FamilyInstance& operator=(const FamilyInstance&) = delete;
+
+  [[nodiscard]] runtime::ISystem& system() {
+    STAMPED_ASSERT_MSG(sys_ != nullptr, "system was taken or never adopted");
+    return *sys_;
+  }
+
+  /// Transfers ownership of the system (the instance keeps the logs; see
+  /// class comment). Used by the exhaustive-exploration schedule source.
+  [[nodiscard]] std::unique_ptr<runtime::ISystem> take_system() {
+    return std::move(sys_);
+  }
+
+  /// Type-erased snapshot of the history recorded so far.
+  [[nodiscard]] virtual GenericCallLog calls() const = 0;
+
+  /// Family-specific counters (empty by default).
+  [[nodiscard]] virtual Metrics metrics() const { return {}; }
+
+ protected:
+  FamilyInstance() = default;
+  std::unique_ptr<runtime::ISystem> sys_;
+};
+
+/// The bridge from a typed implementation (register value V, timestamp Ts,
+/// comparator Cmp) to the erased FamilyInstance. Construction is two-phase
+/// because the system's programs capture a pointer to the instance-owned log:
+///   auto inst = std::make_unique<TypedFamilyInstance<V, Ts, Cmp>>();
+///   inst->adopt(make_X_system(..., &inst->log()));
+template <class V, class Ts, class Cmp>
+class TypedFamilyInstance final : public FamilyInstance {
+ public:
+  /// Pair filter over the typed records: does the ordered pair (a, b) carry a
+  /// timestamp-property obligation? Null means every pair does.
+  using PairFilter =
+      std::function<bool(const std::vector<runtime::CallRecord<Ts>>&,
+                         const runtime::CallRecord<Ts>&,
+                         const runtime::CallRecord<Ts>&)>;
+
+  explicit TypedFamilyInstance(Cmp cmp = {}, PairFilter filter = nullptr)
+      : cmp_(std::move(cmp)), filter_(std::move(filter)) {}
+
+  [[nodiscard]] runtime::CallLog<Ts>& log() { return log_; }
+
+  void adopt(std::unique_ptr<runtime::System<V>> sys) {
+    sys_ = std::move(sys);
+  }
+
+  void set_metrics(std::function<Metrics()> fn) { metrics_fn_ = std::move(fn); }
+
+  [[nodiscard]] GenericCallLog calls() const override {
+    auto typed = std::make_shared<std::vector<runtime::CallRecord<Ts>>>(
+        log_.snapshot());
+    GenericCallLog g;
+    g.records.reserve(typed->size());
+    for (std::size_t i = 0; i < typed->size(); ++i) {
+      const auto& r = (*typed)[i];
+      g.records.push_back({r.pid, r.call_index, i, r.invoked_at,
+                           r.responded_at});
+    }
+    g.before = [typed, cmp = cmp_](std::size_t a, std::size_t b) {
+      return cmp((*typed)[a].ts, (*typed)[b].ts);
+    };
+    g.ts_repr = [typed](std::size_t i) {
+      return runtime::value_repr((*typed)[i].ts);
+    };
+    if (filter_) {
+      g.obligated = [typed, f = filter_](const GenericCallRecord& a,
+                                         const GenericCallRecord& b) {
+        return f(*typed, (*typed)[a.ts], (*typed)[b.ts]);
+      };
+    } else {
+      g.obligated = [](const GenericCallRecord&, const GenericCallRecord&) {
+        return true;
+      };
+    }
+    return g;
+  }
+
+  [[nodiscard]] Metrics metrics() const override {
+    return metrics_fn_ ? metrics_fn_() : Metrics{};
+  }
+
+ private:
+  runtime::CallLog<Ts> log_;
+  Cmp cmp_;
+  PairFilter filter_;
+  std::function<Metrics()> metrics_fn_;
+};
+
+/// The type-erased descriptor of one timestamp implementation family.
+struct TimestampFamily {
+  std::string name;       ///< unique slug, e.g. "sqrt-oneshot"
+  std::string summary;    ///< one-line human description
+  std::string paper_ref;  ///< e.g. "Section 6 (Algorithm 4)"
+  Lifetime lifetime = Lifetime::kOneShot;
+  std::string universe;   ///< the timestamp universe T, human-readable
+
+  /// 0 = unlimited getTS calls per process; 1 = strictly one-shot.
+  int max_calls_per_process = 0;
+
+  /// The paper's space bound for this scenario: registers the implementation
+  /// allocates (== the quantity the theorems bound).
+  std::function<std::int64_t(const ScenarioSpec&)> registers_allocated;
+
+  /// True when a solo sequential run writes every allocated register
+  /// (max-scan, simple, bounded, fetch&add); Algorithm 4 allocates a
+  /// never-written sentinel and writes only the phase frontier.
+  bool writes_full_allocation = false;
+
+  /// Builds a live instance recording a typed history (null log never used).
+  std::function<std::unique_ptr<FamilyInstance>(const ScenarioSpec&)> make;
+
+  /// Deterministic log-free factory for replay adversaries / the explorer.
+  std::function<runtime::SystemFactory(const ScenarioSpec&)> factory;
+
+  /// Runs the scenario on real threads (atomicmem backend); null when the
+  /// family has no threaded form.
+  std::function<void(const ScenarioSpec&)> run_threaded;
+
+  /// Whether this family can run the given scenario.
+  [[nodiscard]] bool supports(const ScenarioSpec& spec) const {
+    return spec.n >= 1 && spec.calls_per_process >= 1 &&
+           (max_calls_per_process == 0 ||
+            spec.calls_per_process <= max_calls_per_process);
+  }
+};
+
+}  // namespace stamped::api

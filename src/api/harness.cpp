@@ -1,0 +1,249 @@
+#include "api/harness.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "runtime/scheduler.hpp"
+#include "verify/hb_checker.hpp"
+
+namespace stamped::api {
+
+namespace {
+
+/// A timestamp handle dressed up as a RegisterValue so the typed checkers of
+/// verify/hb_checker.hpp run unchanged over type-erased histories.
+struct OpaqueTs {
+  std::size_t idx = 0;
+  const GenericCallLog* log = nullptr;
+
+  friend bool operator==(const OpaqueTs&, const OpaqueTs&) = default;
+
+  [[nodiscard]] std::string repr() const {
+    return log != nullptr ? log->ts_repr(idx) : "?";
+  }
+};
+
+struct OpaqueCompare {
+  [[nodiscard]] bool operator()(const OpaqueTs& a, const OpaqueTs& b) const {
+    return a.log->before(a.idx, b.idx);
+  }
+};
+
+GenericCallRecord to_generic(const runtime::CallRecord<OpaqueTs>& r) {
+  return {r.pid, r.call_index, r.ts.idx, r.invoked_at, r.responded_at};
+}
+
+/// Applies the enabled checkers to `log`, accumulating into `rep`.
+void apply_checkers(const GenericCallLog& log, const Checkers& checkers,
+                    ScenarioReport& rep) {
+  if (!checkers.timestamp_property && !checkers.per_process_monotonicity) {
+    return;
+  }
+  std::vector<runtime::CallRecord<OpaqueTs>> records;
+  records.reserve(log.records.size());
+  for (const auto& r : log.records) {
+    runtime::CallRecord<OpaqueTs> c;
+    c.pid = r.pid;
+    c.call_index = r.call_index;
+    c.ts = OpaqueTs{r.ts, &log};
+    c.invoked_at = r.invoked_at;
+    c.responded_at = r.responded_at;
+    records.push_back(c);
+  }
+  const auto pair_filter = [&log](const runtime::CallRecord<OpaqueTs>& a,
+                                  const runtime::CallRecord<OpaqueTs>& b) {
+    return log.obligated(to_generic(a), to_generic(b));
+  };
+  if (checkers.timestamp_property) {
+    const auto r = verify::check_timestamp_property_filtered(
+        records, OpaqueCompare{}, pair_filter);
+    rep.ordered_pairs += r.ordered_pairs_checked;
+    rep.concurrent_pairs += r.concurrent_pairs;
+    rep.filtered_pairs += r.filtered_pairs;
+    rep.violations.insert(rep.violations.end(), r.violations.begin(),
+                          r.violations.end());
+  }
+  if (checkers.per_process_monotonicity) {
+    const auto r = verify::check_per_process_monotonicity_filtered(
+        records, OpaqueCompare{}, pair_filter);
+    rep.violations.insert(rep.violations.end(), r.violations.begin(),
+                          r.violations.end());
+  }
+}
+
+}  // namespace
+
+ScheduleSource round_robin() {
+  ScheduleSource src;
+  src.name = "round-robin";
+  src.drive = [](runtime::ISystem& sys, util::Rng&, std::uint64_t max_steps) {
+    runtime::run_round_robin(sys, max_steps);
+  };
+  return src;
+}
+
+ScheduleSource seeded_random() {
+  ScheduleSource src;
+  src.name = "random";
+  src.drive = [](runtime::ISystem& sys, util::Rng& rng,
+                 std::uint64_t max_steps) {
+    runtime::run_random(sys, rng, max_steps);
+  };
+  return src;
+}
+
+ScheduleSource sequential() {
+  ScheduleSource src;
+  src.name = "sequential";
+  src.drive = [](runtime::ISystem& sys, util::Rng&, std::uint64_t max_steps) {
+    for (int p = 0; p < sys.num_processes(); ++p) {
+      runtime::run_solo_until(
+          sys, p, [](runtime::ISystem&) { return false; }, max_steps);
+    }
+  };
+  return src;
+}
+
+ScheduleSource staggered(int group) {
+  STAMPED_ASSERT(group >= 1);
+  ScheduleSource src;
+  src.name = "staggered-" + std::to_string(group);
+  src.drive = [group](runtime::ISystem& sys, util::Rng& rng,
+                      std::uint64_t max_steps) {
+    const int n = sys.num_processes();
+    std::uint64_t steps = 0;
+    for (int base = 0; base < n; base += group) {
+      const int hi = std::min(n, base + group);
+      std::vector<int> live;
+      for (;;) {
+        live.clear();
+        for (int p = base; p < hi; ++p) {
+          if (!sys.finished(p)) live.push_back(p);
+        }
+        if (live.empty() || steps >= max_steps) break;
+        sys.step(live[static_cast<std::size_t>(rng.next_below(live.size()))]);
+        ++steps;
+      }
+      if (steps >= max_steps) break;
+    }
+  };
+  return src;
+}
+
+ScheduleSource covering_adversary() {
+  ScheduleSource src;
+  src.name = "covering";
+  src.drive = [](runtime::ISystem& sys, util::Rng&, std::uint64_t max_steps) {
+    // Pause every process at a write to a register no earlier process
+    // covers (greedy covering), then release the block write and drain.
+    std::unordered_set<int> covered;
+    const int n = sys.num_processes();
+    for (int p = 0; p < n; ++p) {
+      if (runtime::run_solo_until_poised_outside(sys, p, covered,
+                                                 max_steps)) {
+        covered.insert(sys.pending(p).reg);
+      }
+    }
+    for (int p = 0; p < n; ++p) {
+      if (!sys.finished(p) && sys.pending(p).is_write()) sys.step(p);
+    }
+    runtime::run_round_robin(sys, max_steps);
+  };
+  return src;
+}
+
+ScheduleSource exhaustive_explorer(verify::ExploreOptions opts) {
+  ScheduleSource src;
+  src.name = "exhaustive";
+  src.kind = ScheduleSource::Kind::kExhaustive;
+  src.explore = opts;
+  return src;
+}
+
+std::string ScenarioReport::summary() const {
+  std::ostringstream os;
+  os << family << " x " << schedule << " (n=" << spec.n << ", calls="
+     << spec.calls_per_process << "): ";
+  if (schedule == "exhaustive") {
+    os << executions << " executions, ";
+  } else {
+    os << steps << " steps, " << calls << " calls, registers "
+       << registers_written << "/" << registers_allocated << ", ";
+  }
+  os << "ordered=" << ordered_pairs << " concurrent=" << concurrent_pairs
+     << " filtered=" << filtered_pairs;
+  for (const auto& [key, value] : metrics) os << ' ' << key << '=' << value;
+  os << (ok() ? " OK" : " VIOLATED");
+  for (const auto& v : violations) os << "\n  " << v;
+  return os.str();
+}
+
+ScenarioReport Harness::run_scenario(const TimestampFamily& family,
+                                     const ScenarioSpec& spec,
+                                     const ScheduleSource& source,
+                                     const Checkers& checkers) const {
+  STAMPED_ASSERT_MSG(family.supports(spec),
+                     "family '" << family.name
+                                << "' does not support this scenario (n="
+                                << spec.n << ", calls_per_process="
+                                << spec.calls_per_process << ")");
+  ScenarioReport rep;
+  rep.family = family.name;
+  rep.schedule = source.name;
+  rep.spec = spec;
+  rep.registers_allocated = family.registers_allocated(spec);
+
+  if (source.kind == ScheduleSource::Kind::kExhaustive) {
+    auto worst_written = std::make_shared<int>(0);
+    const verify::InstanceFactory factory = [&family, &spec, &checkers,
+                                             worst_written]() {
+      std::shared_ptr<FamilyInstance> inst{family.make(spec)};
+      verify::ExplorationInstance e;
+      e.sys = inst->take_system();
+      runtime::ISystem* raw = e.sys.get();
+      e.check = [inst, raw, &checkers,
+                 worst_written]() -> std::optional<std::string> {
+        *worst_written = std::max(*worst_written, raw->registers_written());
+        ScenarioReport branch;
+        apply_checkers(inst->calls(), checkers, branch);
+        if (!branch.violations.empty()) return branch.violations.front();
+        return std::nullopt;
+      };
+      return e;
+    };
+    const auto result = verify::explore_all_executions(factory,
+                                                       source.explore);
+    rep.executions = result.executions;
+    rep.budget_exhausted = result.budget_exhausted;
+    rep.registers_written = *worst_written;
+    rep.all_finished = !result.depth_exceeded;
+    rep.violations = result.violations;
+    return rep;
+  }
+
+  STAMPED_ASSERT_MSG(source.drive != nullptr,
+                     "schedule source '" << source.name << "' has no driver");
+  auto inst = family.make(spec);
+  runtime::ISystem& sys = inst->system();
+  util::Rng rng(spec.seed);
+  source.drive(sys, rng, max_steps_);
+  runtime::check_no_failures(sys);
+
+  rep.all_finished = sys.all_finished();
+  rep.steps = sys.steps_taken();
+  rep.calls = sys.calls_completed_total();
+  rep.registers_written = sys.registers_written();
+  rep.metrics = inst->metrics();
+  if (checkers.timestamp_property || checkers.per_process_monotonicity) {
+    // calls() snapshots the whole typed history; skip it when no checker
+    // will look (the space benches run with Checkers::none()).
+    apply_checkers(inst->calls(), checkers, rep);
+  }
+  return rep;
+}
+
+}  // namespace stamped::api

@@ -1,0 +1,116 @@
+// Harness: compose any registered timestamp family with any schedule source
+// and the history checkers, yielding one structured ScenarioReport.
+//
+//   auto report = api::Harness{}.run_scenario(
+//       api::family("sqrt-oneshot"), {.n = 16}, api::seeded_random());
+//   STAMPED_ASSERT(report.ok());
+//
+// Schedule sources mirror the executions used throughout the paper: fair
+// round-robin, a seeded random adversary, fully sequential arrival, the
+// staggered-arrival workload that drives Algorithm 4 through many phases, a
+// greedy block-write covering adversary (Sections 3-4 flavor), and the
+// exhaustive explorer that enumerates every interleaving of small systems.
+// The timestamp property is checked through the family's own comparator and
+// pair filter, so bounded-universe families are automatically held to their
+// windowed guarantee and unbounded families to the unconditional one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/family.hpp"
+#include "util/rng.hpp"
+#include "verify/explorer.hpp"
+
+namespace stamped::api {
+
+/// One way of driving a scenario to completion.
+struct ScheduleSource {
+  enum class Kind : std::uint8_t {
+    kDriver,      ///< steps one live system via `drive`
+    kExhaustive,  ///< enumerates all executions via the explorer
+  };
+
+  std::string name;
+  Kind kind = Kind::kDriver;
+  /// Steps `sys` until done (or `max_steps`); `rng` is seeded from the
+  /// ScenarioSpec. Unused for kExhaustive.
+  std::function<void(runtime::ISystem& sys, util::Rng& rng,
+                     std::uint64_t max_steps)>
+      drive;
+  /// Exploration budget for kExhaustive.
+  verify::ExploreOptions explore{};
+};
+
+/// Fair round-robin over unfinished processes.
+[[nodiscard]] ScheduleSource round_robin();
+/// Uniformly random adversary, reproducible from ScenarioSpec::seed.
+[[nodiscard]] ScheduleSource seeded_random();
+/// Fully sequential arrival: process 0 runs to completion, then 1, ...
+[[nodiscard]] ScheduleSource sequential();
+/// Staggered arrival in groups of `group`; each group completes under a
+/// random schedule before the next starts (the phase-driving workload).
+[[nodiscard]] ScheduleSource staggered(int group);
+/// Greedy block-write covering adversary: each process runs solo until it
+/// covers a register outside the covered set; the block write is then
+/// executed and the run drained round-robin (Sections 3-4 flavor).
+[[nodiscard]] ScheduleSource covering_adversary();
+/// Exhaustive exploration of every interleaving (small systems only).
+[[nodiscard]] ScheduleSource exhaustive_explorer(
+    verify::ExploreOptions opts = {});
+
+/// Which history checks run_scenario applies to the recorded calls.
+struct Checkers {
+  bool timestamp_property = true;
+  bool per_process_monotonicity = true;
+
+  [[nodiscard]] static Checkers none() { return {false, false}; }
+};
+
+/// Structured outcome of one scenario.
+struct ScenarioReport {
+  std::string family;
+  std::string schedule;
+  ScenarioSpec spec;
+
+  bool all_finished = false;
+  std::uint64_t steps = 0;
+  std::uint64_t calls = 0;
+  std::int64_t registers_allocated = 0;
+  int registers_written = 0;
+
+  /// Pair accounting from the checkers (0 when checks are disabled).
+  std::size_t ordered_pairs = 0;
+  std::size_t concurrent_pairs = 0;
+  std::size_t filtered_pairs = 0;
+
+  /// kExhaustive only: complete executions checked / budget flag.
+  std::uint64_t executions = 0;
+  bool budget_exhausted = false;
+
+  Metrics metrics;
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The scenario runner. Stateless apart from the step budget.
+class Harness {
+ public:
+  Harness() = default;
+  explicit Harness(std::uint64_t max_steps) : max_steps_(max_steps) {}
+
+  /// Runs `family` under `source` and applies `checkers`; see file comment.
+  [[nodiscard]] ScenarioReport run_scenario(const TimestampFamily& family,
+                                            const ScenarioSpec& spec,
+                                            const ScheduleSource& source,
+                                            const Checkers& checkers = {}) const;
+
+ private:
+  std::uint64_t max_steps_ = std::uint64_t{1} << 32;
+};
+
+}  // namespace stamped::api

@@ -1,0 +1,334 @@
+#include "api/registry.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "atomicmem/atomic_memory.hpp"
+#include "core/bounded_longlived.hpp"
+#include "core/fetchadd_baseline.hpp"
+#include "core/growing_oneshot.hpp"
+#include "core/maxscan_longlived.hpp"
+#include "core/simple_oneshot.hpp"
+#include "core/sqrt_oneshot.hpp"
+#include "core/timestamp.hpp"
+#include "util/bounds.hpp"
+
+namespace stamped::api {
+
+namespace {
+
+/// The bounded family's modulus for a scenario: the explicit universe_bound,
+/// or the smallest window covering the whole execution.
+std::int32_t bounded_modulus(const ScenarioSpec& spec) {
+  return spec.universe_bound > 0
+             ? spec.universe_bound
+             : core::bounded_modulus_for(spec.calls_per_process);
+}
+
+template <class V>
+using Threaded = atomicmem::ThreadedHarness<V>;
+
+TimestampFamily maxscan_family() {
+  TimestampFamily fam;
+  fam.name = "maxscan";
+  fam.summary = "long-lived collect/max+1 comparator, n SWMR registers";
+  fam.paper_ref = "Theorem 1.1 shape (Theta(n) comparator)";
+  fam.lifetime = Lifetime::kLongLived;
+  fam.universe = "integers, compare is <";
+  fam.max_calls_per_process = 0;
+  fam.registers_allocated = [](const ScenarioSpec& spec) {
+    return util::bounds::longlived_upper_maxscan(spec.n);
+  };
+  fam.writes_full_allocation = true;
+  fam.make = [](const ScenarioSpec& spec) -> std::unique_ptr<FamilyInstance> {
+    auto inst = std::make_unique<
+        TypedFamilyInstance<std::int64_t, std::int64_t, core::Compare>>();
+    inst->adopt(core::make_maxscan_system(spec.n, spec.calls_per_process,
+                                          &inst->log()));
+    return inst;
+  };
+  fam.factory = [](const ScenarioSpec& spec) {
+    return core::maxscan_factory(spec.n, spec.calls_per_process);
+  };
+  fam.run_threaded = [](const ScenarioSpec& spec) {
+    Threaded<std::int64_t> harness(spec.n, 0);
+    std::vector<Threaded<std::int64_t>::Program> programs;
+    for (int p = 0; p < spec.n; ++p) {
+      programs.push_back(
+          [p, spec](atomicmem::DirectCtx<std::int64_t>& ctx) {
+            return core::maxscan_program(ctx, p, spec.n,
+                                         spec.calls_per_process, nullptr);
+          });
+    }
+    harness.run(programs);
+  };
+  return fam;
+}
+
+TimestampFamily simple_oneshot_family() {
+  TimestampFamily fam;
+  fam.name = "simple-oneshot";
+  fam.summary = "Section 5 simple one-shot algorithm, ceil(n/2) registers";
+  fam.paper_ref = "Section 5 (Algorithm 2)";
+  fam.lifetime = Lifetime::kOneShot;
+  fam.universe = "integers in [1, 2*ceil(n/2)], compare is <";
+  fam.max_calls_per_process = 1;
+  fam.registers_allocated = [](const ScenarioSpec& spec) {
+    return util::bounds::oneshot_upper_simple(spec.n);
+  };
+  fam.writes_full_allocation = true;
+  fam.make = [](const ScenarioSpec& spec) -> std::unique_ptr<FamilyInstance> {
+    auto inst = std::make_unique<
+        TypedFamilyInstance<std::int64_t, std::int64_t, core::Compare>>();
+    inst->adopt(core::make_simple_oneshot_system(spec.n, &inst->log()));
+    return inst;
+  };
+  fam.factory = [](const ScenarioSpec& spec) {
+    return core::simple_oneshot_factory(spec.n);
+  };
+  fam.run_threaded = [](const ScenarioSpec& spec) {
+    STAMPED_ASSERT(spec.calls_per_process == 1);
+    Threaded<std::int64_t> harness(core::simple_oneshot_registers(spec.n), 0);
+    std::vector<Threaded<std::int64_t>::Program> programs;
+    for (int p = 0; p < spec.n; ++p) {
+      programs.push_back(
+          [p, spec](atomicmem::DirectCtx<std::int64_t>& ctx) {
+            return core::simple_getts_program(ctx, p, spec.n, nullptr);
+          });
+    }
+    harness.run(programs);
+  };
+  return fam;
+}
+
+/// Shared between sqrt-oneshot and growing-oneshot, which differ only in the
+/// register pool: Algorithm 4 with `m` registers, one TypedFamilyInstance
+/// wired to a SqrtStats metrics source.
+std::unique_ptr<FamilyInstance> make_alg4_instance(
+    const ScenarioSpec& spec, bool growing) {
+  auto inst = std::make_unique<TypedFamilyInstance<
+      core::TsRecord, core::PairTimestamp, core::Compare>>();
+  auto stats = std::make_shared<core::SqrtStats>();
+  if (growing) {
+    inst->adopt(core::make_growing_bounded_system(
+        spec.n, spec.calls_per_process, &inst->log(), stats.get()));
+  } else {
+    inst->adopt(core::make_sqrt_bounded_system(
+        spec.n, spec.calls_per_process, &inst->log(), stats.get()));
+  }
+  inst->set_metrics([stats] {
+    return Metrics{
+        {"scans", static_cast<std::int64_t>(stats->scans().size())}};
+  });
+  return inst;
+}
+
+void run_alg4_threaded(const ScenarioSpec& spec, int m) {
+  Threaded<core::TsRecord> harness(m, core::TsRecord::bottom());
+  std::vector<Threaded<core::TsRecord>::Program> programs;
+  for (int p = 0; p < spec.n; ++p) {
+    programs.push_back(
+        [p, spec, m](atomicmem::DirectCtx<core::TsRecord>& ctx) {
+          return core::sqrt_calls_program(ctx, p, spec.calls_per_process, m,
+                                          nullptr, nullptr);
+        });
+  }
+  harness.run(programs);
+}
+
+TimestampFamily sqrt_oneshot_family() {
+  TimestampFamily fam;
+  fam.name = "sqrt-oneshot";
+  fam.summary =
+      "Section 6 Algorithm 4, ceil(2*sqrt(M)) registers (Theorem 1.3)";
+  fam.paper_ref = "Section 6 (Algorithms 3+4)";
+  fam.lifetime = Lifetime::kOneShot;
+  fam.universe = "pairs (rnd, turn), compare is lexicographic <";
+  fam.max_calls_per_process = 0;  // calls > 1: the bounded-M generalization
+  fam.registers_allocated = [](const ScenarioSpec& spec) {
+    return static_cast<std::int64_t>(
+        core::sqrt_oneshot_registers(spec.total_calls()));
+  };
+  fam.writes_full_allocation = false;  // the sentinel is never written
+  fam.make = [](const ScenarioSpec& spec) {
+    return make_alg4_instance(spec, /*growing=*/false);
+  };
+  fam.factory = [](const ScenarioSpec& spec) -> runtime::SystemFactory {
+    return [spec]() -> std::unique_ptr<runtime::ISystem> {
+      return core::make_sqrt_bounded_system(spec.n, spec.calls_per_process,
+                                            nullptr, nullptr);
+    };
+  };
+  fam.run_threaded = [](const ScenarioSpec& spec) {
+    run_alg4_threaded(spec,
+                      core::sqrt_oneshot_registers(spec.total_calls()));
+  };
+  return fam;
+}
+
+TimestampFamily growing_oneshot_family() {
+  TimestampFamily fam;
+  fam.name = "growing-oneshot";
+  fam.summary =
+      "Algorithm 4 on an unbounded register pool (no a-priori call bound)";
+  fam.paper_ref = "Section 7 remark (growing generalization)";
+  fam.lifetime = Lifetime::kOneShot;
+  fam.universe = "pairs (rnd, turn), compare is lexicographic <";
+  fam.max_calls_per_process = 0;
+  fam.registers_allocated = [](const ScenarioSpec& spec) {
+    return static_cast<std::int64_t>(core::growing_pool_registers(
+        static_cast<int>(spec.total_calls())));
+  };
+  fam.writes_full_allocation = false;
+  fam.make = [](const ScenarioSpec& spec) {
+    return make_alg4_instance(spec, /*growing=*/true);
+  };
+  fam.factory = [](const ScenarioSpec& spec) -> runtime::SystemFactory {
+    return [spec]() -> std::unique_ptr<runtime::ISystem> {
+      return core::make_growing_bounded_system(spec.n, spec.calls_per_process,
+                                               nullptr, nullptr);
+    };
+  };
+  fam.run_threaded = [](const ScenarioSpec& spec) {
+    run_alg4_threaded(spec, core::growing_pool_registers(
+                                static_cast<int>(spec.total_calls())));
+  };
+  return fam;
+}
+
+TimestampFamily fetchadd_family() {
+  TimestampFamily fam;
+  fam.name = "fetchadd";
+  fam.summary =
+      "non-register fetch&add baseline: one counter, one step per call";
+  fam.paper_ref = "outside the paper's model (throughput baseline)";
+  fam.lifetime = Lifetime::kLongLived;
+  fam.universe = "integers, compare is <";
+  fam.max_calls_per_process = 0;
+  fam.registers_allocated = [](const ScenarioSpec&) {
+    return std::int64_t{1};
+  };
+  fam.writes_full_allocation = true;
+  fam.make = [](const ScenarioSpec& spec) -> std::unique_ptr<FamilyInstance> {
+    auto inst = std::make_unique<
+        TypedFamilyInstance<std::int64_t, std::int64_t, core::Compare>>();
+    inst->adopt(core::make_fetchadd_system(spec.n, spec.calls_per_process,
+                                           &inst->log()));
+    return inst;
+  };
+  fam.factory = [](const ScenarioSpec& spec) {
+    return core::fetchadd_factory(spec.n, spec.calls_per_process);
+  };
+  fam.run_threaded = [](const ScenarioSpec& spec) {
+    Threaded<std::int64_t> harness(1, 0);
+    std::vector<Threaded<std::int64_t>::Program> programs;
+    for (int p = 0; p < spec.n; ++p) {
+      programs.push_back(
+          [p, spec](atomicmem::DirectCtx<std::int64_t>& ctx) {
+            return core::fetchadd_program(ctx, p, spec.calls_per_process,
+                                          nullptr);
+          });
+    }
+    harness.run(programs);
+  };
+  return fam;
+}
+
+TimestampFamily bounded_family() {
+  TimestampFamily fam;
+  fam.name = "bounded";
+  fam.summary =
+      "bounded-universe long-lived object (Haldar-Vitanyi style), "
+      "labels in Z_K^n";
+  fam.paper_ref = "beyond the source paper (see PAPERS.md)";
+  fam.lifetime = Lifetime::kLongLived;
+  fam.universe = "vectors in Z_K^n, compare is windowed cyclic dominance";
+  fam.max_calls_per_process = 0;
+  fam.registers_allocated = [](const ScenarioSpec& spec) {
+    return static_cast<std::int64_t>(spec.n);
+  };
+  fam.writes_full_allocation = true;
+  fam.make = [](const ScenarioSpec& spec) -> std::unique_ptr<FamilyInstance> {
+    using Instance = TypedFamilyInstance<
+        core::BoundedLabel, core::BoundedTimestamp, core::BoundedCompare>;
+    const std::int32_t k = bounded_modulus(spec);
+    // When the window covers the whole execution (K >= 2*calls + 1, the
+    // auto default) the UNCONDITIONAL property must hold — same bar as the
+    // unbounded families, so no pair filter. Only a deliberately small
+    // universe_bound puts the run in the recycling regime, where ordered
+    // pairs outside the window carry no obligation.
+    Instance::PairFilter filter = nullptr;
+    if (core::bounded_window(k) < spec.calls_per_process) {
+      filter =
+          [k](const std::vector<runtime::CallRecord<core::BoundedTimestamp>>&
+                  all,
+              const runtime::CallRecord<core::BoundedTimestamp>& a,
+              const runtime::CallRecord<core::BoundedTimestamp>& b) {
+            return core::bounded_pair_within_window(all, a, b, k);
+          };
+    }
+    auto inst =
+        std::make_unique<Instance>(core::BoundedCompare{}, std::move(filter));
+    auto stats = std::make_shared<core::BoundedStats>();
+    inst->adopt(core::make_bounded_system(spec.n, spec.calls_per_process, k,
+                                          &inst->log(), stats.get()));
+    inst->set_metrics([stats] {
+      return Metrics{
+          {"wraps", static_cast<std::int64_t>(stats->wraps())},
+          {"collects", static_cast<std::int64_t>(stats->collects())}};
+    });
+    return inst;
+  };
+  fam.factory = [](const ScenarioSpec& spec) {
+    return core::bounded_factory(spec.n, spec.calls_per_process,
+                                 spec.universe_bound);
+  };
+  fam.run_threaded = [](const ScenarioSpec& spec) {
+    const std::int32_t k = bounded_modulus(spec);
+    Threaded<core::BoundedLabel> harness(spec.n, core::BoundedLabel{});
+    std::vector<Threaded<core::BoundedLabel>::Program> programs;
+    for (int p = 0; p < spec.n; ++p) {
+      programs.push_back(
+          [p, spec, k](atomicmem::DirectCtx<core::BoundedLabel>& ctx) {
+            return core::bounded_program(ctx, p, spec.n, k,
+                                         spec.calls_per_process, nullptr,
+                                         nullptr);
+          });
+    }
+    harness.run(programs);
+  };
+  return fam;
+}
+
+}  // namespace
+
+const std::vector<TimestampFamily>& registry() {
+  static const std::vector<TimestampFamily> families = [] {
+    std::vector<TimestampFamily> fams;
+    fams.push_back(maxscan_family());
+    fams.push_back(simple_oneshot_family());
+    fams.push_back(sqrt_oneshot_family());
+    fams.push_back(growing_oneshot_family());
+    fams.push_back(fetchadd_family());
+    fams.push_back(bounded_family());
+    return fams;
+  }();
+  return families;
+}
+
+const TimestampFamily* find_family(std::string_view name) {
+  for (const auto& fam : registry()) {
+    if (fam.name == name) return &fam;
+  }
+  return nullptr;
+}
+
+const TimestampFamily& family(std::string_view name) {
+  const TimestampFamily* fam = find_family(name);
+  STAMPED_ASSERT_MSG(fam != nullptr,
+                     "unknown timestamp family '" << std::string(name)
+                                                  << "'");
+  return *fam;
+}
+
+}  // namespace stamped::api

@@ -1,0 +1,38 @@
+// The global timestamp-family registry: every implementation of this
+// library, enumerable through one API.
+//
+//   for (const auto& fam : api::registry()) { ... }
+//   const auto& alg4 = api::family("sqrt-oneshot");
+//
+// Registered families (name — paper reference):
+//   maxscan         — long-lived collect/max+1 comparator (Theta(n) shape of
+//                     Theorem 1.1)
+//   simple-oneshot  — Section 5 simple algorithm, ceil(n/2) registers
+//   sqrt-oneshot    — Section 6 Algorithm 4, ceil(2*sqrt(M)) registers
+//                     (calls_per_process > 1 selects the bounded-M
+//                     generalization)
+//   growing-oneshot — Algorithm 4 on an unbounded register pool (Section 7
+//                     remark; non-blocking register acquisition)
+//   fetchadd        — non-register fetch&add baseline (outside the paper's
+//                     model and its lower bounds)
+//   bounded         — Haldar–Vitanyi-style bounded-universe long-lived
+//                     object, labels in Z_K^n (beyond the source paper)
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "api/family.hpp"
+
+namespace stamped::api {
+
+/// All registered families, in a stable order. Thread-safe, built once.
+[[nodiscard]] const std::vector<TimestampFamily>& registry();
+
+/// The family named `name`, or nullptr if unknown.
+[[nodiscard]] const TimestampFamily* find_family(std::string_view name);
+
+/// The family named `name`; throws stamped::invariant_error if unknown.
+[[nodiscard]] const TimestampFamily& family(std::string_view name);
+
+}  // namespace stamped::api

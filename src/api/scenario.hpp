@@ -1,0 +1,71 @@
+// Scenario vocabulary of the unified timestamp-family API.
+//
+// The paper is a *comparative* result: long-lived vs one-shot vs bounded
+// universes. To compare implementations uniformly, every family is driven
+// from the same ScenarioSpec and reports its history through the same
+// type-erased GenericCallLog, whose timestamps are opaque handles ordered
+// only by the family's own compare(). Consumers (conformance tests, space
+// benches, examples) never see the per-family value types.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace stamped::api {
+
+/// Lifetime kind of a timestamp family (paper, Section 1).
+enum class Lifetime : std::uint8_t {
+  kOneShot,    ///< every process calls getTS() at most once
+  kLongLived,  ///< processes call getTS() arbitrarily often
+};
+
+[[nodiscard]] constexpr const char* lifetime_name(Lifetime lt) {
+  return lt == Lifetime::kOneShot ? "one-shot" : "long-lived";
+}
+
+/// Parameters of one scenario: which system to build and how big.
+struct ScenarioSpec {
+  int n = 2;                   ///< number of processes
+  int calls_per_process = 1;   ///< getTS calls per process (1 for one-shot)
+  std::int32_t universe_bound = 0;  ///< bounded family's modulus K (0 = auto)
+  std::uint64_t seed = 1;      ///< RNG seed for randomized schedule sources
+
+  [[nodiscard]] std::int64_t total_calls() const {
+    return static_cast<std::int64_t>(n) * calls_per_process;
+  }
+};
+
+/// One completed getTS() call with its timestamp erased to an opaque handle
+/// (an index into the owning GenericCallLog's timestamp store).
+struct GenericCallRecord {
+  int pid = -1;
+  int call_index = 0;  ///< k for the k-th call by this process (0-based)
+  std::size_t ts = 0;  ///< opaque timestamp handle
+  std::uint64_t invoked_at = 0;
+  std::uint64_t responded_at = 0;
+
+  /// Paper's happens-before: this call's response precedes other's invocation.
+  [[nodiscard]] bool happens_before(const GenericCallRecord& other) const {
+    return responded_at < other.invoked_at;
+  }
+};
+
+/// Type-erased call history of one scenario run. `before` is the family's
+/// compare() lifted to handles; `obligated` is the family's pair filter for
+/// the timestamp property (bounded-universe families release ordered pairs
+/// outside their recycling window; unbounded families obligate every pair).
+struct GenericCallLog {
+  std::vector<GenericCallRecord> records;
+  std::function<bool(std::size_t, std::size_t)> before;
+  std::function<std::string(std::size_t)> ts_repr;
+  std::function<bool(const GenericCallRecord&, const GenericCallRecord&)>
+      obligated;
+
+  [[nodiscard]] std::size_t size() const { return records.size(); }
+};
+
+}  // namespace stamped::api

@@ -52,6 +52,11 @@ class AtomicCell {
   [[nodiscard]] V exchange(V v) {
     return value_.exchange(v, std::memory_order_seq_cst);
   }
+  [[nodiscard]] V fetch_add(V addend)
+    requires std::is_arithmetic_v<V>
+  {
+    return value_.fetch_add(addend, std::memory_order_seq_cst);
+  }
 
  private:
   std::atomic<V> value_;
@@ -138,6 +143,11 @@ class AtomicMemory {
   [[nodiscard]] V swap(int reg, V v) {
     return cell(reg).exchange(std::move(v));
   }
+  [[nodiscard]] V fetch_add(int reg, V addend)
+    requires std::is_arithmetic_v<V>
+  {
+    return cell(reg).fetch_add(addend);
+  }
 
  private:
   detail::AtomicCell<V>& cell(int reg) {
@@ -189,6 +199,12 @@ class DirectCtx {
   [[nodiscard]] ValueAwaiter swap(int reg, V v) {
     bump();
     return {mem_->swap(reg, std::move(v))};
+  }
+  [[nodiscard]] ValueAwaiter fetch_add(int reg, V addend)
+    requires std::is_arithmetic_v<V>
+  {
+    bump();
+    return {mem_->fetch_add(reg, addend)};
   }
 
   std::uint64_t stamp() {

@@ -14,8 +14,9 @@ namespace stamped::runtime {
 
 /// The kinds of atomic shared-memory operations a process can be poised to
 /// perform. kSwap models a historyless swap object (Section 7 of the paper);
+/// kFetchAdd a fetch&add primitive (the non-register throughput baseline);
 /// the register algorithms use only kRead and kWrite.
-enum class OpKind : std::uint8_t { kNone, kRead, kWrite, kSwap };
+enum class OpKind : std::uint8_t { kNone, kRead, kWrite, kSwap, kFetchAdd };
 
 [[nodiscard]] constexpr const char* op_kind_name(OpKind k) {
   switch (k) {
@@ -23,8 +24,14 @@ enum class OpKind : std::uint8_t { kNone, kRead, kWrite, kSwap };
     case OpKind::kRead: return "read";
     case OpKind::kWrite: return "write";
     case OpKind::kSwap: return "swap";
+    case OpKind::kFetchAdd: return "fetchadd";
   }
   return "?";
+}
+
+/// True if an operation of this kind modifies the register it targets.
+[[nodiscard]] constexpr bool op_kind_writes(OpKind k) {
+  return k == OpKind::kWrite || k == OpKind::kSwap || k == OpKind::kFetchAdd;
 }
 
 /// The operation a process will perform on its next step.
@@ -35,11 +42,9 @@ struct PendingOp {
   /// True if executing this op would modify register `r` (paper: the process
   /// *covers* r).
   [[nodiscard]] bool covers(int r) const {
-    return (kind == OpKind::kWrite || kind == OpKind::kSwap) && reg == r;
+    return op_kind_writes(kind) && reg == r;
   }
-  [[nodiscard]] bool is_write() const {
-    return kind == OpKind::kWrite || kind == OpKind::kSwap;
-  }
+  [[nodiscard]] bool is_write() const { return op_kind_writes(kind); }
 };
 
 /// Type-erased summary of one executed step (pid, op kind, register). The
@@ -50,9 +55,7 @@ struct StepInfo {
   OpKind kind = OpKind::kNone;
   int reg = -1;
 
-  [[nodiscard]] bool is_write() const {
-    return kind == OpKind::kWrite || kind == OpKind::kSwap;
-  }
+  [[nodiscard]] bool is_write() const { return op_kind_writes(kind); }
 };
 
 /// Abstract simulated system: n processes, m registers, step-level control.
@@ -124,8 +127,10 @@ class ISystem {
   }
 
   /// Number of distinct registers that have been written so far. This is the
-  /// "registers used" metric reported by the space benchmarks.
-  [[nodiscard]] int registers_written() const {
+  /// "registers used" metric reported by the space benchmarks. System<V>
+  /// overrides this with an O(1) incrementally maintained count; the default
+  /// rescans for exotic ISystem implementations.
+  [[nodiscard]] virtual int registers_written() const {
     int used = 0;
     for (int r = 0; r < num_registers(); ++r) {
       if (register_written(r)) ++used;

@@ -19,6 +19,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -93,6 +94,18 @@ class SimCtx {
     V await_resume() { return sys->take_result(pid); }
   };
 
+  struct FetchAddAwaiter {
+    System<V>* sys;
+    int pid;
+    int reg;
+    V addend;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sys->post_op(pid, OpKind::kFetchAdd, reg, std::move(addend), h);
+    }
+    V await_resume() { return sys->take_result(pid); }
+  };
+
   /// Atomic read of register `reg` (one step).
   [[nodiscard]] ReadAwaiter read(int reg) { return {sys_, pid_, reg}; }
   /// Atomic write to register `reg` (one step).
@@ -102,6 +115,13 @@ class SimCtx {
   /// Atomic swap on register `reg` (one step); returns the old value.
   [[nodiscard]] SwapAwaiter swap(int reg, V value) {
     return {sys_, pid_, reg, std::move(value)};
+  }
+  /// Atomic fetch&add on register `reg` (one step); returns the old value.
+  /// Only meaningful for arithmetic V (non-register baseline objects).
+  [[nodiscard]] FetchAddAwaiter fetch_add(int reg, V addend)
+    requires std::is_arithmetic_v<V>
+  {
+    return {sys_, pid_, reg, std::move(addend)};
   }
 
   /// Monotone event counter; used to timestamp method invocations/responses
@@ -217,7 +237,7 @@ class System final : public ISystem {
       case OpKind::kWrite:
         entry.written = s.to_write;
         cell = s.to_write;
-        ++write_counts_[static_cast<std::size_t>(s.reg)];
+        note_write(s.reg);
         append_view(pid, "W[" + std::to_string(s.reg) +
                              "]:=" + value_repr(entry.written));
         break;
@@ -226,10 +246,25 @@ class System final : public ISystem {
         entry.observed = s.result;
         entry.written = s.to_write;
         cell = s.to_write;
-        ++write_counts_[static_cast<std::size_t>(s.reg)];
+        note_write(s.reg);
         append_view(pid, "X[" + std::to_string(s.reg) + "]:=" +
                              value_repr(entry.written) + "/" +
                              value_repr(entry.observed));
+        break;
+      case OpKind::kFetchAdd:
+        if constexpr (std::is_arithmetic_v<V>) {
+          s.result = cell;
+          entry.observed = s.result;
+          entry.written = static_cast<V>(cell + s.to_write);
+          cell = entry.written;
+          note_write(s.reg);
+          append_view(pid, "F[" + std::to_string(s.reg) + "]+=" +
+                               value_repr(s.to_write) + "->" +
+                               value_repr(entry.written));
+        } else {
+          STAMPED_ASSERT_MSG(false,
+                             "fetch_add on non-arithmetic register type");
+        }
         break;
       case OpKind::kNone:
         STAMPED_ASSERT(false);
@@ -281,6 +316,11 @@ class System final : public ISystem {
   }
   [[nodiscard]] std::uint64_t writes_to(int reg) const override {
     return write_counts_[idx(reg)];
+  }
+  /// O(1): maintained incrementally by note_write() (the default rescans all
+  /// m registers — it sat on the space-table loops of the benches).
+  [[nodiscard]] int registers_written() const override {
+    return distinct_registers_written_;
   }
 
   [[nodiscard]] std::string process_view(int pid) const override {
@@ -356,6 +396,10 @@ class System final : public ISystem {
     views_[idx(pid)].push_back(std::move(item));
   }
 
+  void note_write(int reg) {
+    if (write_counts_[idx(reg)]++ == 0) ++distinct_registers_written_;
+  }
+
   V initial_;
   std::vector<V> registers_;
   std::vector<std::uint64_t> write_counts_;
@@ -372,6 +416,7 @@ class System final : public ISystem {
   std::uint64_t steps_ = 0;
   std::uint64_t event_counter_ = 0;
   std::uint64_t calls_total_ = 0;
+  int distinct_registers_written_ = 0;
   Observer observer_;
 };
 

@@ -31,6 +31,7 @@ std::string dump_trace(const System<V>& sys, std::size_t max_steps = 64) {
         os << " := " << value_repr(e.written);
         break;
       case OpKind::kSwap:
+      case OpKind::kFetchAdd:
         os << " := " << value_repr(e.written) << " (was "
            << value_repr(e.observed) << ')';
         break;

@@ -1,0 +1,109 @@
+// Tests for the family registry itself: enumeration, lookup, and the
+// contract between each entry's declared space bound and what a solo
+// sequential run actually writes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "api/harness.hpp"
+#include "api/registry.hpp"
+
+namespace {
+
+using namespace stamped;
+
+TEST(Registry, EnumeratesAllSixFamilies) {
+  const auto& families = api::registry();
+  ASSERT_EQ(families.size(), 6u);
+  const std::set<std::string> expected{"maxscan",  "simple-oneshot",
+                                      "sqrt-oneshot", "growing-oneshot",
+                                      "fetchadd", "bounded"};
+  std::set<std::string> actual;
+  for (const auto& fam : families) actual.insert(fam.name);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Registry, FamilyNamesAreUnique) {
+  std::set<std::string> seen;
+  for (const auto& fam : api::registry()) {
+    EXPECT_TRUE(seen.insert(fam.name).second)
+        << "duplicate family name: " << fam.name;
+  }
+}
+
+TEST(Registry, EveryEntryIsFullyPopulated) {
+  for (const auto& fam : api::registry()) {
+    EXPECT_FALSE(fam.name.empty());
+    EXPECT_FALSE(fam.summary.empty()) << fam.name;
+    EXPECT_FALSE(fam.universe.empty()) << fam.name;
+    EXPECT_TRUE(fam.registers_allocated != nullptr) << fam.name;
+    EXPECT_TRUE(fam.make != nullptr) << fam.name;
+    EXPECT_TRUE(fam.factory != nullptr) << fam.name;
+  }
+}
+
+TEST(Registry, LookupFindsEveryFamilyAndRejectsUnknown) {
+  for (const auto& fam : api::registry()) {
+    const api::TimestampFamily* found = api::find_family(fam.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name, fam.name);
+    EXPECT_EQ(&api::family(fam.name), found);
+  }
+  EXPECT_EQ(api::find_family("no-such-family"), nullptr);
+  EXPECT_THROW((void)api::family("no-such-family"), stamped::invariant_error);
+}
+
+TEST(Registry, OneShotFamiliesRejectMultiCallScenarios) {
+  api::ScenarioSpec multi;
+  multi.n = 4;
+  multi.calls_per_process = 2;
+  EXPECT_FALSE(api::family("simple-oneshot").supports(multi));
+  EXPECT_TRUE(api::family("maxscan").supports(multi));
+  EXPECT_TRUE(api::family("sqrt-oneshot").supports(multi))
+      << "calls > 1 selects Algorithm 4's bounded-M generalization";
+}
+
+TEST(Registry, DeclaredSpaceBoundMatchesSoloSequentialRun) {
+  // writes_full_allocation families (max-scan, simple, fetch&add, bounded)
+  // write exactly the allocation in a solo sequential run; Algorithm 4
+  // variants allocate a never-written sentinel and write at most the
+  // allocation.
+  const api::Harness harness;
+  for (const auto& fam : api::registry()) {
+    for (int n : {1, 2, 5, 9}) {
+      api::ScenarioSpec spec;
+      spec.n = n;
+      const auto report = harness.run_scenario(fam, spec, api::sequential());
+      EXPECT_TRUE(report.ok()) << report.summary();
+      EXPECT_TRUE(report.all_finished) << report.summary();
+      if (fam.writes_full_allocation) {
+        EXPECT_EQ(report.registers_written, report.registers_allocated)
+            << fam.name << " n=" << n;
+      } else {
+        EXPECT_LE(report.registers_written, report.registers_allocated)
+            << fam.name << " n=" << n;
+        EXPECT_GT(report.registers_written, 0) << fam.name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Registry, MetricsSurfaceFamilySpecificCounters) {
+  // The bounded family reports label recycles ("wraps"): with K = 3 every
+  // third tick of a component wraps, so a long solo run must record some.
+  api::ScenarioSpec spec;
+  spec.n = 2;
+  spec.calls_per_process = 6;
+  spec.universe_bound = 3;
+  const auto report = api::Harness{}.run_scenario(
+      api::family("bounded"), spec, api::round_robin(),
+      api::Checkers::none());
+  std::int64_t wraps = -1;
+  for (const auto& [key, value] : report.metrics) {
+    if (key == "wraps") wraps = value;
+  }
+  EXPECT_GT(wraps, 0) << report.summary();
+}
+
+}  // namespace

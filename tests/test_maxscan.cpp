@@ -44,35 +44,9 @@ TEST(MaxScan, SequentialTimestampsAreOneToM) {
   }
 }
 
-class MaxScanProperty
-    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
-
-TEST_P(MaxScanProperty, HappensBeforeRespected) {
-  const auto [n, calls, seed] = GetParam();
-  runtime::CallLog<std::int64_t> log;
-  auto sys = core::make_maxscan_system(n, calls, &log);
-  util::Rng rng(seed);
-  runtime::run_random(*sys, rng, 1 << 24);
-  ASSERT_TRUE(sys->all_finished());
-  runtime::check_no_failures(*sys);
-  ASSERT_EQ(static_cast<int>(log.size()), n * calls);
-  auto report = verify::check_timestamp_property(log.snapshot(), core::Compare{});
-  EXPECT_TRUE(report.ok()) << report.to_string();
-  auto mono =
-      verify::check_per_process_monotonicity(log.snapshot(), core::Compare{});
-  EXPECT_TRUE(mono.ok()) << mono.to_string();
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Sweep, MaxScanProperty,
-    ::testing::Combine(::testing::Values(2, 3, 5, 8, 16),
-                       ::testing::Values(1, 3, 6),
-                       ::testing::Values(21u, 22u, 23u)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_c" +
-             std::to_string(std::get<1>(info.param)) + "_seed" +
-             std::to_string(std::get<2>(info.param));
-    });
+// NOTE: the (n, calls, seed) property sweep that used to live here is now
+// part of the registry-wide conformance suite (test_api_conformance.cpp),
+// which runs the same check for every family under every schedule source.
 
 TEST(MaxScan, ConcurrentCallsMayShareTimestamps) {
   // Two processes that both collect before either writes will compute the

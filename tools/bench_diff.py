@@ -12,10 +12,14 @@ Comparison rules, per cell:
   - non-integer numeric cells (analytic bounds like sqrt(2n) - log2 n) are
     compared with a small absolute tolerance, so a libm ULP difference that
     moves the second printed decimal does not fail the build;
+  - columns named by --tolerance COL=VAL are noisy by declaration: their
+    numeric cells (integer or float) compare with absolute tolerance VAL;
   - everything else is compared as a string.
 
 Usage:
   tools/bench_diff.py --baseline-dir bench/baselines --measured-dir .
+  tools/bench_diff.py --baseline-dir bench/baselines --measured-dir . \
+      --tolerance alg4_rand=2 --tolerance covered_3k=1
   tools/bench_diff.py --baseline-dir bench/baselines --measured-dir . --update
 
 Exit status: 0 when every baseline table has a matching measured twin, 1 on
@@ -42,9 +46,26 @@ def classify(cell: str):
         return "str", cell
 
 
-def cells_equal(expected: str, measured: str) -> bool:
+def parse_tolerance(arg: str):
+    """Parses one --tolerance argument of the form COLUMN=VALUE."""
+    column, sep, value = arg.rpartition("=")
+    if not sep or not column:
+        raise argparse.ArgumentTypeError(
+            f"expected COLUMN=VALUE, got {arg!r}"
+        )
+    try:
+        return column, float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"tolerance value in {arg!r} is not a number"
+        ) from exc
+
+
+def cells_equal(expected: str, measured: str, tolerance=None) -> bool:
     kind_e, val_e = classify(expected)
     kind_m, val_m = classify(measured)
+    if tolerance is not None and kind_e != "str" and kind_m != "str":
+        return abs(float(val_e) - float(val_m)) <= tolerance
     if kind_e != kind_m:
         return False
     if kind_e == "int":
@@ -54,7 +75,9 @@ def cells_equal(expected: str, measured: str) -> bool:
     return val_e == val_m
 
 
-def diff_table(name: str, baseline: dict, measured: dict) -> list:
+def diff_table(name: str, baseline: dict, measured: dict,
+               tolerances=None) -> list:
+    tolerances = tolerances or {}
     problems = []
     if baseline.get("headers") != measured.get("headers"):
         problems.append(
@@ -78,8 +101,8 @@ def diff_table(name: str, baseline: dict, measured: dict) -> list:
             )
             continue
         for c, (cell_b, cell_m) in enumerate(zip(row_b, row_m)):
-            if not cells_equal(cell_b, cell_m):
-                col = headers[c] if c < len(headers) else f"col{c}"
+            col = headers[c] if c < len(headers) else f"col{c}"
+            if not cells_equal(cell_b, cell_m, tolerances.get(col)):
                 problems.append(
                     f"{name}: row {r} [{col}]: measured {cell_m!r} "
                     f"!= baseline {cell_b!r}"
@@ -96,7 +119,17 @@ def main() -> int:
         action="store_true",
         help="copy measured tables over the baselines instead of diffing",
     )
+    parser.add_argument(
+        "--tolerance",
+        action="append",
+        default=[],
+        type=parse_tolerance,
+        metavar="COLUMN=VALUE",
+        help="absolute tolerance for numeric cells of a noisy column "
+        "(repeatable)",
+    )
     args = parser.parse_args()
+    tolerances = dict(args.tolerance)
 
     baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
     if not baselines:
@@ -118,7 +151,8 @@ def main() -> int:
             continue
         baseline = json.loads(baseline_path.read_text())
         measured = json.loads(measured_path.read_text())
-        table_problems = diff_table(baseline_path.name, baseline, measured)
+        table_problems = diff_table(baseline_path.name, baseline, measured,
+                                    tolerances)
         if table_problems:
             problems.extend(table_problems)
         else:

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Self-test for tools/bench_diff.py: known-good vs perturbed JSON tables.
+
+Builds a baseline/measured directory pair in a temp dir and checks the
+diff's exit status and reporting across the comparison rules: exact integer
+match, float tolerance, --tolerance overrides for noisy columns, header and
+row-count mismatches, and missing measured files. Wired into ctest as
+`bench_diff_selftest`.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+TOOL = pathlib.Path(__file__).resolve().parent / "bench_diff.py"
+
+GOOD_TABLE = {
+    "title": "T9: selftest table",
+    "headers": ["n", "lower", "written", "ops_sec"],
+    "rows": [
+        ["4", "1.17", "3", "1000"],
+        ["8", "2.00", "5", "2000"],
+    ],
+}
+
+failures = []
+
+
+def check(label, ok):
+    status = "ok" if ok else "FAIL"
+    print(f"{status}: {label}")
+    if not ok:
+        failures.append(label)
+
+
+def run_diff(baseline_dir, measured_dir, *extra):
+    return subprocess.run(
+        [sys.executable, str(TOOL), "--baseline-dir", str(baseline_dir),
+         "--measured-dir", str(measured_dir), *extra],
+        capture_output=True, text=True,
+    )
+
+
+def write_table(directory, table):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "BENCH_T9_selftest.json").write_text(json.dumps(table))
+
+
+def perturbed(column, value):
+    table = json.loads(json.dumps(GOOD_TABLE))
+    col = table["headers"].index(column)
+    table["rows"][0][col] = value
+    return table
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        baseline = tmp / "baseline"
+        write_table(baseline, GOOD_TABLE)
+
+        # Identical tables pass.
+        measured = tmp / "identical"
+        write_table(measured, GOOD_TABLE)
+        check("identical tables pass", run_diff(baseline, measured).returncode == 0)
+
+        # A drifted integer cell fails (exact comparison).
+        measured = tmp / "int_drift"
+        write_table(measured, perturbed("written", "4"))
+        result = run_diff(baseline, measured)
+        check("integer drift fails", result.returncode == 1)
+        check("integer drift names the column", "[written]" in result.stdout)
+
+        # The same drift passes with a --tolerance covering it...
+        check(
+            "--tolerance absorbs declared noise",
+            run_diff(baseline, measured, "--tolerance", "written=1").returncode == 0,
+        )
+        # ...but not with a tolerance smaller than the drift, and not when the
+        # tolerance names a different column.
+        check(
+            "too-small --tolerance still fails",
+            run_diff(baseline, measured, "--tolerance", "written=0.5").returncode == 1,
+        )
+        check(
+            "--tolerance is per-column",
+            run_diff(baseline, measured, "--tolerance", "ops_sec=9").returncode == 1,
+        )
+
+        # Float cells absorb sub-tolerance jitter without any flag (libm ULP).
+        measured = tmp / "float_jitter"
+        write_table(measured, perturbed("lower", "1.18"))
+        check("float jitter within default tolerance passes",
+              run_diff(baseline, measured).returncode == 0)
+        measured = tmp / "float_drift"
+        write_table(measured, perturbed("lower", "1.40"))
+        check("float drift beyond default tolerance fails",
+              run_diff(baseline, measured).returncode == 1)
+
+        # A non-numeric cell in a tolerated column still fails.
+        measured = tmp / "str_cell"
+        write_table(measured, perturbed("written", "oops"))
+        check(
+            "non-numeric cell fails even with --tolerance",
+            run_diff(baseline, measured, "--tolerance", "written=9").returncode == 1,
+        )
+
+        # Structural mismatches fail regardless of tolerances.
+        measured = tmp / "row_count"
+        table = json.loads(json.dumps(GOOD_TABLE))
+        table["rows"].pop()
+        write_table(measured, table)
+        check("row-count mismatch fails", run_diff(baseline, measured).returncode == 1)
+
+        measured = tmp / "headers"
+        table = json.loads(json.dumps(GOOD_TABLE))
+        table["headers"][-1] = "renamed"
+        write_table(measured, table)
+        check("header mismatch fails", run_diff(baseline, measured).returncode == 1)
+
+        # A missing measured table fails.
+        missing = tmp / "missing"
+        missing.mkdir()
+        check("missing measured table fails",
+              run_diff(baseline, missing).returncode == 1)
+
+        # A malformed --tolerance argument is rejected up front.
+        result = run_diff(baseline, baseline, "--tolerance", "written")
+        check("malformed --tolerance rejected", result.returncode == 2)
+
+    if failures:
+        print(f"\n{len(failures)} selftest failure(s)")
+        return 1
+    print("\nbench_diff selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
