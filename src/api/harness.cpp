@@ -1,9 +1,14 @@
 #include "api/harness.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -169,7 +174,9 @@ std::string ScenarioReport::summary() const {
   os << family << " x " << schedule << " (n=" << spec.n << ", calls="
      << spec.calls_per_process << "): ";
   if (schedule == "exhaustive") {
-    os << executions << " executions, ";
+    os << executions << " executions, " << nodes << " nodes";
+    if (sleep_pruned > 0) os << " (" << sleep_pruned << " pruned)";
+    os << ", ";
   } else {
     os << steps << " steps, " << calls << " calls, registers "
        << registers_written << "/" << registers_allocated << ", ";
@@ -198,6 +205,12 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
   rep.registers_allocated = family.registers_allocated(spec);
 
   if (source.kind == ScheduleSource::Kind::kExhaustive) {
+    // The explorer replays prefixes and inspects views, which requires full
+    // recording; reject the conflicting spec loudly rather than silently
+    // running in kFull.
+    STAMPED_ASSERT_MSG(spec.recording == runtime::RecordingMode::kFull,
+                       "the exhaustive explorer requires "
+                       "ScenarioSpec::recording == kFull");
     auto worst_written = std::make_shared<int>(0);
     const verify::InstanceFactory factory = [&family, &spec, &checkers,
                                              worst_written]() {
@@ -218,6 +231,8 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
     const auto result = verify::explore_all_executions(factory,
                                                        source.explore);
     rep.executions = result.executions;
+    rep.nodes = result.nodes;
+    rep.sleep_pruned = result.sleep_pruned;
     rep.budget_exhausted = result.budget_exhausted;
     rep.registers_written = *worst_written;
     rep.all_finished = !result.depth_exceeded;
@@ -229,6 +244,9 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
                      "schedule source '" << source.name << "' has no driver");
   auto inst = family.make(spec);
   runtime::ISystem& sys = inst->system();
+  if (spec.recording != runtime::RecordingMode::kFull) {
+    sys.set_recording_mode(spec.recording);
+  }
   util::Rng rng(spec.seed);
   source.drive(sys, rng, max_steps_);
   runtime::check_no_failures(sys);
@@ -244,6 +262,70 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
     apply_checkers(inst->calls(), checkers, rep);
   }
   return rep;
+}
+
+std::string SweepReport::summary() const {
+  std::ostringstream os;
+  os << "sweep: " << reports.size() << " scenarios on " << workers
+     << " workers, " << total_steps << " steps, " << total_calls
+     << " calls, " << scenarios_failed << " failed ("
+     << elapsed_seconds << "s)";
+  return os.str();
+}
+
+SweepReport Harness::run_scenario_sweep(const TimestampFamily& family,
+                                        const std::vector<ScenarioSpec>& grid,
+                                        const ScheduleSource& source,
+                                        const Checkers& checkers,
+                                        unsigned workers) const {
+  SweepReport sweep;
+  sweep.reports.resize(grid.size());
+  if (grid.empty()) return sweep;
+
+  if (workers == 0) workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = std::min<unsigned>(workers, static_cast<unsigned>(grid.size()));
+  sweep.workers = static_cast<int>(workers);
+
+  const auto start = std::chrono::steady_clock::now();
+  // Work-stealing by atomic index: each worker claims the next unclaimed
+  // spec and runs it on a System it alone owns. The spec order of `grid` is
+  // preserved in `reports`, so results are independent of which worker ran
+  // which spec (replay determinism) and of the claiming order.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= grid.size()) return;
+          try {
+            sweep.reports[i] =
+                run_scenario(family, grid[i], source, checkers);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  sweep.elapsed_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  for (const ScenarioReport& rep : sweep.reports) {
+    sweep.total_steps += rep.steps;
+    sweep.total_calls += rep.calls;
+    if (!rep.ok()) ++sweep.scenarios_failed;
+  }
+  return sweep;
 }
 
 }  // namespace stamped::api

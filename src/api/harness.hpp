@@ -90,10 +90,29 @@ struct ScenarioReport {
   std::uint64_t executions = 0;
   bool budget_exhausted = false;
 
+  /// kExhaustive only: interior scheduling nodes visited / subtrees the
+  /// sleep sets pruned (0 unless ExploreOptions::por).
+  std::uint64_t nodes = 0;
+  std::uint64_t sleep_pruned = 0;
+
   Metrics metrics;
   std::vector<std::string> violations;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Aggregated outcome of run_scenario_sweep: the per-spec reports (input
+/// order) plus totals for quick gating.
+struct SweepReport {
+  std::vector<ScenarioReport> reports;
+  std::uint64_t total_steps = 0;
+  std::uint64_t total_calls = 0;
+  std::size_t scenarios_failed = 0;  ///< reports with violations
+  int workers = 0;                   ///< threads actually spawned
+  double elapsed_seconds = 0.0;
+
+  [[nodiscard]] bool ok() const { return scenarios_failed == 0; }
   [[nodiscard]] std::string summary() const;
 };
 
@@ -108,6 +127,17 @@ class Harness {
                                             const ScenarioSpec& spec,
                                             const ScheduleSource& source,
                                             const Checkers& checkers = {}) const;
+
+  /// Fans `grid` across a pool of `workers` threads (0 = hardware
+  /// concurrency) and aggregates the reports. Each scenario builds its own
+  /// System inside its worker — replay determinism makes the per-spec
+  /// reports identical to a serial loop of run_scenario calls, in any worker
+  /// interleaving — so the sweep is embarrassingly parallel. The first
+  /// exception thrown by any scenario is rethrown after all workers join.
+  [[nodiscard]] SweepReport run_scenario_sweep(
+      const TimestampFamily& family, const std::vector<ScenarioSpec>& grid,
+      const ScheduleSource& source, const Checkers& checkers = {},
+      unsigned workers = 0) const;
 
  private:
   std::uint64_t max_steps_ = std::uint64_t{1} << 32;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/isystem.hpp"
 #include "util/assert.hpp"
 
 namespace stamped::api {
@@ -33,6 +34,12 @@ struct ScenarioSpec {
   int calls_per_process = 1;   ///< getTS calls per process (1 for one-shot)
   std::int32_t universe_bound = 0;  ///< bounded family's modulus K (0 = auto)
   std::uint64_t seed = 1;      ///< RNG seed for randomized schedule sources
+  /// Recording mode for the simulated system. kCountsOnly skips per-step
+  /// trace/view/observer bookkeeping in the hot loop — measurement sweeps
+  /// only; history checkers still work (the CallLog is program-level).
+  /// The exhaustive-explorer schedule source requires kFull and rejects
+  /// anything else.
+  runtime::RecordingMode recording = runtime::RecordingMode::kFull;
 
   [[nodiscard]] std::int64_t total_calls() const {
     return static_cast<std::int64_t>(n) * calls_per_process;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "runtime/coro.hpp"
+#include "runtime/value.hpp"
 #include "util/assert.hpp"
 
 namespace stamped::atomicmem {
@@ -36,7 +37,14 @@ template <class V>
 inline constexpr bool kInlineAtomic =
     std::is_trivially_copyable_v<V> && sizeof(V) <= 8;
 
-/// Lock-free cell for small trivially copyable values.
+/// Cell for small trivially copyable values. Plain loads stay single atomic
+/// ops (wait-free); writes additionally maintain a seqlock-style version
+/// counter so load_versioned() can return a consistent {value, version} pair
+/// for the version-clock scan. The counter holds 2*version while idle and an
+/// odd value while a write is in flight; writers serialize on it with a CAS
+/// (uncontended in the SWMR register layouts every algorithm here uses, a
+/// short spin under MWMR write races — writes are then lock-based, which is
+/// an honest cost of versioning an 8-byte cell without DWCAS).
 template <class V, bool Inline = kInlineAtomic<V>>
 class AtomicCell {
  public:
@@ -48,27 +56,74 @@ class AtomicCell {
   [[nodiscard]] V load() const {
     return value_.load(std::memory_order_seq_cst);
   }
-  void store(V v) { value_.store(v, std::memory_order_seq_cst); }
+
+  /// Consistent snapshot of value and write-version: retries while a write
+  /// is in flight or raced the value load.
+  [[nodiscard]] runtime::Versioned<V> load_versioned() const {
+    for (;;) {
+      const std::uint64_t before = seq_.load(std::memory_order_seq_cst);
+      if ((before & 1u) != 0) continue;  // write in flight
+      V v = value_.load(std::memory_order_seq_cst);
+      if (seq_.load(std::memory_order_seq_cst) == before) {
+        return {std::move(v), before >> 1};
+      }
+    }
+  }
+
+  void store(V v) {
+    const std::uint64_t s = writer_enter();
+    value_.store(v, std::memory_order_seq_cst);
+    writer_exit(s);
+  }
   [[nodiscard]] V exchange(V v) {
-    return value_.exchange(v, std::memory_order_seq_cst);
+    const std::uint64_t s = writer_enter();
+    V old = value_.exchange(v, std::memory_order_seq_cst);
+    writer_exit(s);
+    return old;
   }
   [[nodiscard]] V fetch_add(V addend)
     requires std::is_arithmetic_v<V>
   {
-    return value_.fetch_add(addend, std::memory_order_seq_cst);
+    const std::uint64_t s = writer_enter();
+    V old = value_.fetch_add(addend, std::memory_order_seq_cst);
+    writer_exit(s);
+    return old;
   }
 
  private:
+  /// Bumps the seqlock counter to odd; returns the even value it left.
+  std::uint64_t writer_enter() {
+    std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    for (;;) {
+      if ((s & 1u) != 0) {
+        s = seq_.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (seq_.compare_exchange_weak(s, s + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed)) {
+        return s;
+      }
+    }
+  }
+  void writer_exit(std::uint64_t entered) {
+    seq_.store(entered + 2, std::memory_order_seq_cst);
+  }
+
   std::atomic<V> value_;
+  std::atomic<std::uint64_t> seq_{0};
 };
 
 /// Pointer-swap cell for arbitrary (copyable) values. Old nodes are retired
-/// to a Treiber stack and freed on destruction.
+/// to a Treiber stack and freed on destruction. Versioning is free here:
+/// every write installs a fresh immutable node carrying a unique version, so
+/// load_versioned() is one pointer load, and equal versions across two loads
+/// imply the same node — hence no intervening write (nodes are never
+/// re-installed).
 template <class V>
 class AtomicCell<V, false> {
  public:
   explicit AtomicCell(const V& initial)
-      : current_(new Node{initial, nullptr}) {}
+      : current_(new Node{initial, 0, nullptr}) {}
 
   AtomicCell(const AtomicCell&) = delete;
   AtomicCell& operator=(const AtomicCell&) = delete;
@@ -87,6 +142,11 @@ class AtomicCell<V, false> {
     return current_.load(std::memory_order_seq_cst)->value;
   }
 
+  [[nodiscard]] runtime::Versioned<V> load_versioned() const {
+    const Node* node = current_.load(std::memory_order_seq_cst);
+    return {node->value, node->version};
+  }
+
   void store(V v) { retire(swap_in(std::move(v))); }
 
   [[nodiscard]] V exchange(V v) {
@@ -99,11 +159,16 @@ class AtomicCell<V, false> {
  private:
   struct Node {
     V value;
+    std::uint64_t version;
     Node* next;
   };
 
   Node* swap_in(V v) {
-    Node* fresh = new Node{std::move(v), nullptr};
+    // Versions are unique per node (fetch_add), which is all load_versioned
+    // needs; they need not be installation-ordered under concurrent writers.
+    Node* fresh = new Node{
+        std::move(v), versions_.fetch_add(1, std::memory_order_seq_cst) + 1,
+        nullptr};
     return current_.exchange(fresh, std::memory_order_seq_cst);
   }
 
@@ -118,6 +183,7 @@ class AtomicCell<V, false> {
 
   std::atomic<Node*> current_;
   std::atomic<Node*> retired_{nullptr};
+  std::atomic<std::uint64_t> versions_{0};
 };
 
 }  // namespace detail
@@ -139,6 +205,9 @@ class AtomicMemory {
   }
 
   [[nodiscard]] V read(int reg) const { return cell(reg).load(); }
+  [[nodiscard]] runtime::Versioned<V> versioned_read(int reg) const {
+    return cell(reg).load_versioned();
+  }
   void write(int reg, V v) { cell(reg).store(std::move(v)); }
   [[nodiscard]] V swap(int reg, V v) {
     return cell(reg).exchange(std::move(v));
@@ -187,9 +256,20 @@ class DirectCtx {
     void await_resume() const noexcept {}
   };
 
+  struct VersionedAwaiter {
+    runtime::Versioned<V> v;
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    runtime::Versioned<V> await_resume() { return std::move(v); }
+  };
+
   [[nodiscard]] ValueAwaiter read(int reg) {
     bump();
     return {mem_->read(reg)};
+  }
+  [[nodiscard]] VersionedAwaiter versioned_read(int reg) {
+    bump();
+    return {mem_->versioned_read(reg)};
   }
   [[nodiscard]] VoidAwaiter write(int reg, V v) {
     bump();

@@ -56,7 +56,7 @@
 #include "runtime/history.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/system.hpp"
-#include "snapshot/double_collect.hpp"
+#include "snapshot/versioned_collect.hpp"
 #include "util/assert.hpp"
 
 namespace stamped::core {
@@ -163,7 +163,10 @@ runtime::SubTask<BoundedTimestamp> bounded_getts(
     Ctx& ctx, int pid, int n, std::int32_t modulus, int call_index,
     runtime::CallLog<BoundedTimestamp>* log, BoundedStats* stats) {
   const std::uint64_t invoked = ctx.stamp();
-  auto scan = co_await snapshot::double_collect_scan(ctx, n);
+  // Version-clock scan: O(n) integer comparison per double collect instead
+  // of O(n) label comparisons, same step count (every recycling write ticks
+  // the own component, so values never repeat between adjacent writes).
+  auto scan = co_await snapshot::versioned_double_collect_scan(ctx, n);
 
   const BoundedLabel& mine = scan.view[static_cast<std::size_t>(pid)];
   BoundedLabel next;

@@ -31,7 +31,7 @@
 #include "runtime/history.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/system.hpp"
-#include "snapshot/double_collect.hpp"
+#include "snapshot/versioned_collect.hpp"
 #include "util/bounds.hpp"
 
 namespace stamped::core {
@@ -166,8 +166,11 @@ runtime::SubTask<PairTimestamp> sqrt_getts(
   }
 
   if (!returned) {
-    // Line 13: scan — successful double collect over all m registers.
-    auto scan = co_await snapshot::double_collect_scan(ctx, m);
+    // Line 13: scan — successful double collect over all m registers,
+    // comparing version clocks instead of id-sequence vectors. Step-for-step
+    // identical to the value-comparing scan because writes always change the
+    // written register's value (Claim 6.1(b)).
+    auto scan = co_await snapshot::versioned_double_collect_scan(ctx, m);
     if (stats != nullptr) {
       stats->on_scan(myrnd, scan.linearize_step, scan.collects);
     }

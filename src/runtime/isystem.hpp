@@ -10,7 +10,27 @@
 #include <string>
 #include <vector>
 
+#include "util/assert.hpp"
+
 namespace stamped::runtime {
+
+/// How much per-step bookkeeping a system retains.
+///
+/// kFull is the correctness-first default: every step is appended to the
+/// typed trace, the executed schedule, the step-info log and the per-process
+/// view strings, and the observer hook fires. kCountsOnly is the hot-loop
+/// mode: only the aggregate counters survive (steps, per-process steps/calls,
+/// per-register write counts/versions), so benches and sweeps that only
+/// measure skip all per-step string building and trace retention. A
+/// kCountsOnly system cannot be used for replay cloning (its executed
+/// schedule stays empty), indistinguishability arguments (views stay empty)
+/// or observer-based invariant checking — the mode setter rejects systems
+/// with an observer installed.
+enum class RecordingMode : std::uint8_t { kFull, kCountsOnly };
+
+[[nodiscard]] constexpr const char* recording_mode_name(RecordingMode m) {
+  return m == RecordingMode::kFull ? "kFull" : "kCountsOnly";
+}
 
 /// The kinds of atomic shared-memory operations a process can be poised to
 /// perform. kSwap models a historyless swap object (Section 7 of the paper);
@@ -109,6 +129,28 @@ class ISystem {
   [[nodiscard]] virtual bool register_written(int reg) const = 0;
   /// Number of writes (incl. swaps) applied to register `reg`.
   [[nodiscard]] virtual std::uint64_t writes_to(int reg) const = 0;
+  /// The register's current version clock — the first-class name for the
+  /// write count, matching the `{value, version}` pairs that
+  /// `SimCtx::versioned_read` returns. Strictly monotone per register in the
+  /// simulator; equal versions bracket a write-free interval (the guarantee
+  /// the version-clock scan relies on — see runtime::Versioned for how the
+  /// threaded backend's cells meet it).
+  [[nodiscard]] virtual std::uint64_t register_version(int reg) const {
+    return writes_to(reg);
+  }
+
+  /// Recording mode (see RecordingMode). The base implementation is the
+  /// always-full default for exotic ISystem implementations; System<V>
+  /// overrides both.
+  [[nodiscard]] virtual RecordingMode recording_mode() const {
+    return RecordingMode::kFull;
+  }
+  /// Switches the recording mode. Only legal before the first step; systems
+  /// that do not support reduced recording reject kCountsOnly.
+  virtual void set_recording_mode(RecordingMode mode) {
+    STAMPED_ASSERT_MSG(mode == RecordingMode::kFull,
+                       "this ISystem implementation records full traces only");
+  }
 
   /// Serialized local knowledge of process pid: the sequence of operations it
   /// has performed with the values it observed. Two executions are

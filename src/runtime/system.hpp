@@ -17,10 +17,8 @@
 
 #include <functional>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -106,8 +104,27 @@ class SimCtx {
     V await_resume() { return sys->take_result(pid); }
   };
 
+  struct VersionedReadAwaiter {
+    System<V>* sys;
+    int pid;
+    int reg;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sys->post_op(pid, OpKind::kRead, reg, V{}, h);
+    }
+    Versioned<V> await_resume() {
+      return {sys->take_result(pid), sys->take_result_version(pid)};
+    }
+  };
+
   /// Atomic read of register `reg` (one step).
   [[nodiscard]] ReadAwaiter read(int reg) { return {sys_, pid_, reg}; }
+  /// Atomic read of register `reg` paired with its version clock (one step,
+  /// same trace footprint as read()). The version is the number of writes
+  /// applied to the register before this read; see runtime::Versioned.
+  [[nodiscard]] VersionedReadAwaiter versioned_read(int reg) {
+    return {sys_, pid_, reg};
+  }
   /// Atomic write to register `reg` (one step).
   [[nodiscard]] WriteAwaiter write(int reg, V value) {
     return {sys_, pid_, reg, std::move(value)};
@@ -154,16 +171,21 @@ class System final : public ISystem {
   using Observer = std::function<void(const System&, const TraceEntry<V>&)>;
 
   /// Constructs a system with `num_registers` registers all holding
-  /// `initial`, and one process per entry of `programs`.
-  System(int num_registers, V initial, std::vector<Program> programs)
+  /// `initial`, and one process per entry of `programs`. `mode` selects how
+  /// much per-step bookkeeping is retained (see runtime::RecordingMode).
+  System(int num_registers, V initial, std::vector<Program> programs,
+         RecordingMode mode = RecordingMode::kFull)
       : initial_(initial),
         registers_(static_cast<std::size_t>(num_registers), initial),
-        write_counts_(static_cast<std::size_t>(num_registers), 0) {
+        write_counts_(static_cast<std::size_t>(num_registers), 0),
+        recording_(mode) {
     STAMPED_ASSERT(num_registers > 0);
     STAMPED_ASSERT(!programs.empty());
     const int n = static_cast<int>(programs.size());
     slots_.resize(static_cast<std::size_t>(n));
     views_.resize(static_cast<std::size_t>(n));
+    steps_by_pid_.resize(static_cast<std::size_t>(n), 0);
+    calls_by_pid_.resize(static_cast<std::size_t>(n), 0);
     ctxs_.reserve(static_cast<std::size_t>(n));
     tasks_.reserve(static_cast<std::size_t>(n));
     for (int p = 0; p < n; ++p) {
@@ -220,51 +242,42 @@ class System final : public ISystem {
     STAMPED_ASSERT_MSG(s.kind != OpKind::kNone,
                        "process " << pid << " has no pending op");
 
+    // The version of the value a read/swap observes: writes applied so far
+    // (a write/swap/fetch&add bumps the count after this line).
+    s.result_version = write_counts_[static_cast<std::size_t>(s.reg)];
+
+    if (recording_ == RecordingMode::kCountsOnly) {
+      step_counts_only(pid, s);
+      return;
+    }
+
     TraceEntry<V> entry;
     entry.index = trace_.size();
     entry.pid = pid;
     entry.kind = s.kind;
     entry.reg = s.reg;
 
-    V& cell = registers_[static_cast<std::size_t>(s.reg)];
-    switch (s.kind) {
+    apply_op(s, &entry);
+
+    switch (entry.kind) {
       case OpKind::kRead:
-        s.result = cell;
-        entry.observed = s.result;
-        append_view(pid, "R[" + std::to_string(s.reg) +
-                             "]=" + value_repr(s.result));
+        append_view(pid, "R[" + std::to_string(entry.reg) +
+                             "]=" + value_repr(entry.observed));
         break;
       case OpKind::kWrite:
-        entry.written = s.to_write;
-        cell = s.to_write;
-        note_write(s.reg);
-        append_view(pid, "W[" + std::to_string(s.reg) +
+        append_view(pid, "W[" + std::to_string(entry.reg) +
                              "]:=" + value_repr(entry.written));
         break;
       case OpKind::kSwap:
-        s.result = cell;
-        entry.observed = s.result;
-        entry.written = s.to_write;
-        cell = s.to_write;
-        note_write(s.reg);
-        append_view(pid, "X[" + std::to_string(s.reg) + "]:=" +
+        append_view(pid, "X[" + std::to_string(entry.reg) + "]:=" +
                              value_repr(entry.written) + "/" +
                              value_repr(entry.observed));
         break;
       case OpKind::kFetchAdd:
-        if constexpr (std::is_arithmetic_v<V>) {
-          s.result = cell;
-          entry.observed = s.result;
-          entry.written = static_cast<V>(cell + s.to_write);
-          cell = entry.written;
-          note_write(s.reg);
-          append_view(pid, "F[" + std::to_string(s.reg) + "]+=" +
-                               value_repr(s.to_write) + "->" +
-                               value_repr(entry.written));
-        } else {
-          STAMPED_ASSERT_MSG(false,
-                             "fetch_add on non-arithmetic register type");
-        }
+        // apply_op leaves the addend in s.to_write for this view string.
+        append_view(pid, "F[" + std::to_string(entry.reg) + "]+=" +
+                             value_repr(s.to_write) + "->" +
+                             value_repr(entry.written));
         break;
       case OpKind::kNone:
         STAMPED_ASSERT(false);
@@ -273,7 +286,7 @@ class System final : public ISystem {
     s.kind = OpKind::kNone;
     s.reg = -1;
     ++steps_;
-    ++steps_by_pid_[pid];
+    ++steps_by_pid_[idx(pid)];
     ++event_counter_;
     executed_schedule_.push_back(pid);
     step_infos_.push_back({pid, entry.kind, entry.reg});
@@ -288,13 +301,13 @@ class System final : public ISystem {
 
   [[nodiscard]] std::uint64_t steps_taken() const override { return steps_; }
   [[nodiscard]] std::uint64_t steps_taken_by(int pid) const override {
-    auto it = steps_by_pid_.find(pid);
-    return it == steps_by_pid_.end() ? 0 : it->second;
+    STAMPED_ASSERT(pid >= 0 && idx(pid) < steps_by_pid_.size());
+    return steps_by_pid_[idx(pid)];
   }
 
   [[nodiscard]] std::uint64_t calls_completed(int pid) const override {
-    auto it = calls_by_pid_.find(pid);
-    return it == calls_by_pid_.end() ? 0 : it->second;
+    STAMPED_ASSERT(pid >= 0 && idx(pid) < calls_by_pid_.size());
+    return calls_by_pid_[idx(pid)];
   }
   [[nodiscard]] std::uint64_t calls_completed_total() const override {
     return calls_total_;
@@ -323,10 +336,29 @@ class System final : public ISystem {
     return distinct_registers_written_;
   }
 
+  /// O(1) + copy: the view is streamed into a per-process string as steps
+  /// execute (it used to be rebuilt from a vector of items on every call).
+  /// Empty in kCountsOnly mode.
   [[nodiscard]] std::string process_view(int pid) const override {
-    std::ostringstream os;
-    for (const auto& item : views_[idx(pid)]) os << item << ';';
-    return os.str();
+    return views_[idx(pid)];
+  }
+
+  // ---- recording mode -----------------------------------------------------
+
+  [[nodiscard]] RecordingMode recording_mode() const override {
+    return recording_;
+  }
+
+  /// Switches the recording mode. Only legal on a pristine system (no steps
+  /// executed yet), and kCountsOnly refuses systems with an observer
+  /// installed — silently skipping invariant checks would be worse than
+  /// failing loudly here.
+  void set_recording_mode(RecordingMode mode) override {
+    STAMPED_ASSERT_MSG(steps_ == 0,
+                       "recording mode must be set before the first step");
+    STAMPED_ASSERT_MSG(mode == RecordingMode::kFull || observer_ == nullptr,
+                       "kCountsOnly would skip the installed observer");
+    recording_ = mode;
   }
 
   // ---- typed access (tests, invariant checkers) ---------------------------
@@ -341,8 +373,13 @@ class System final : public ISystem {
     return trace_;
   }
 
-  /// Installs a hook invoked after every step (invariant checking).
-  void set_observer(Observer obs) { observer_ = std::move(obs); }
+  /// Installs a hook invoked after every step (invariant checking). Rejected
+  /// in kCountsOnly mode, which skips observer dispatch.
+  void set_observer(Observer obs) {
+    STAMPED_ASSERT_MSG(recording_ == RecordingMode::kFull,
+                       "observers require RecordingMode::kFull");
+    observer_ = std::move(obs);
+  }
 
   // ---- used by SimCtx ------------------------------------------------------
 
@@ -361,12 +398,18 @@ class System final : public ISystem {
 
   V take_result(int pid) { return std::move(slots_[idx(pid)].result); }
 
+  [[nodiscard]] std::uint64_t take_result_version(int pid) const {
+    return slots_[idx(pid)].result_version;
+  }
+
   std::uint64_t bump_event_counter() { return ++event_counter_; }
 
   void note_call_complete(int pid) {
-    ++calls_by_pid_[pid];
+    ++calls_by_pid_[idx(pid)];
     ++calls_total_;
-    append_view(pid, "done#" + std::to_string(calls_by_pid_[pid]));
+    if (recording_ == RecordingMode::kFull) {
+      append_view(pid, "done#" + std::to_string(calls_by_pid_[idx(pid)]));
+    }
   }
 
  private:
@@ -375,6 +418,7 @@ class System final : public ISystem {
     int reg = -1;
     V to_write{};
     V result{};
+    std::uint64_t result_version = 0;
     std::coroutine_handle<> resume_point{};
   };
 
@@ -392,8 +436,76 @@ class System final : public ISystem {
     }
   }
 
+  /// The single home of the shared-memory op semantics, shared by both
+  /// recording modes so they cannot drift: applies the pending op of `s` to
+  /// its register cell and fills s.result. When `entry` is non-null (kFull)
+  /// the observed/written values are also recorded for the trace. For
+  /// kFetchAdd, s.to_write (the addend) is left in place — the kFull caller
+  /// prints it in the view string.
+  void apply_op(Slot& s, TraceEntry<V>* entry) {
+    V& cell = registers_[static_cast<std::size_t>(s.reg)];
+    switch (s.kind) {
+      case OpKind::kRead:
+        s.result = cell;
+        if (entry != nullptr) entry->observed = s.result;
+        break;
+      case OpKind::kWrite:
+        if (entry != nullptr) entry->written = s.to_write;
+        cell = std::move(s.to_write);
+        note_write(s.reg);
+        break;
+      case OpKind::kSwap: {
+        V observed = std::move(cell);
+        cell = std::move(s.to_write);
+        if (entry != nullptr) {
+          entry->observed = observed;
+          entry->written = cell;
+        }
+        s.result = std::move(observed);
+        note_write(s.reg);
+        break;
+      }
+      case OpKind::kFetchAdd:
+        if constexpr (std::is_arithmetic_v<V>) {
+          s.result = cell;
+          cell = static_cast<V>(cell + s.to_write);
+          if (entry != nullptr) {
+            entry->observed = s.result;
+            entry->written = cell;
+          }
+          note_write(s.reg);
+        } else {
+          STAMPED_ASSERT_MSG(false,
+                             "fetch_add on non-arithmetic register type");
+        }
+        break;
+      case OpKind::kNone:
+        STAMPED_ASSERT(false);
+    }
+  }
+
+  /// The kCountsOnly hot path: performs the register operation and bumps the
+  /// aggregate counters, but builds no strings, retains no trace entries and
+  /// dispatches no observer. ~an order of magnitude cheaper per step than the
+  /// kFull path (see bench/bench_t8_runtime.cpp).
+  void step_counts_only(int pid, Slot& s) {
+    apply_op(s, nullptr);
+
+    s.kind = OpKind::kNone;
+    s.reg = -1;
+    ++steps_;
+    ++steps_by_pid_[idx(pid)];
+    ++event_counter_;
+
+    auto h = std::exchange(s.resume_point, {});
+    STAMPED_ASSERT(h);
+    h.resume();
+  }
+
   void append_view(int pid, std::string item) {
-    views_[idx(pid)].push_back(std::move(item));
+    std::string& view = views_[idx(pid)];
+    view += item;
+    view += ';';
   }
 
   void note_write(int reg) {
@@ -407,16 +519,20 @@ class System final : public ISystem {
   std::vector<ProcessTask> tasks_;
   std::vector<Slot> slots_;
   std::vector<bool> started_;
-  std::vector<std::vector<std::string>> views_;
+  /// One streamed view string per process (kFull only; see process_view()).
+  std::vector<std::string> views_;
   std::vector<TraceEntry<V>> trace_;
   std::vector<int> executed_schedule_;
   std::vector<StepInfo> step_infos_;
-  std::unordered_map<int, std::uint64_t> steps_by_pid_;
-  std::unordered_map<int, std::uint64_t> calls_by_pid_;
+  /// Flat pre-sized per-pid counters (they were unordered_maps; the lookups
+  /// sat on the step hot path).
+  std::vector<std::uint64_t> steps_by_pid_;
+  std::vector<std::uint64_t> calls_by_pid_;
   std::uint64_t steps_ = 0;
   std::uint64_t event_counter_ = 0;
   std::uint64_t calls_total_ = 0;
   int distinct_registers_written_ = 0;
+  RecordingMode recording_ = RecordingMode::kFull;
   Observer observer_;
 };
 

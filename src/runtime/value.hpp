@@ -9,10 +9,30 @@
 #pragma once
 
 #include <concepts>
+#include <cstdint>
 #include <string>
 #include <type_traits>
 
 namespace stamped::runtime {
+
+/// A register value paired with the register's write-version at the moment it
+/// was read. The load-bearing guarantee, everywhere: two versioned reads of
+/// the same register returning equal versions bracket a write-free interval —
+/// even when the *values* coincide (ABA). In the simulator and the threaded
+/// backend's inline cells the version is additionally the register's write
+/// count, strictly monotone per register; the threaded pointer-swap cells
+/// guarantee only per-write uniqueness (creation-ordered, not
+/// installation-ordered under racing writers — see atomicmem::AtomicCell),
+/// which is all the equal-versions property needs. The version-clock scan
+/// (snapshot/versioned_collect.hpp) compares these integers instead of deep
+/// values.
+template <class V>
+struct Versioned {
+  V value{};
+  std::uint64_t version = 0;
+
+  friend bool operator==(const Versioned&, const Versioned&) = default;
+};
 
 template <class V>
 concept HasRepr = requires(const V& v) {

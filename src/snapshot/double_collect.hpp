@@ -27,6 +27,10 @@ struct ScanResult {
   /// linearized at any point between the last two collects; this value is a
   /// canonical choice used by the phase analysis of Algorithm 4.
   std::uint64_t linearize_step = 0;
+  /// Per-register write-versions of the returned view. Filled by the
+  /// version-clock scan (snapshot/versioned_collect.hpp); empty for the
+  /// value-comparing scan below.
+  std::vector<std::uint64_t> versions;
 };
 
 /// Repeated double collect over registers [0, count). Each register read is

@@ -1,10 +1,41 @@
 #include "verify/explorer.hpp"
 
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <utility>
+
 #include "runtime/history.hpp"
 
 namespace stamped::verify {
 
 namespace {
+
+/// One transition that an earlier sibling branch already explored from some
+/// ancestor node, now asleep: stepping this pid from here would only reach
+/// executions equivalent to already-explored ones, unless a dependent
+/// transition wakes it first. The recorded fields stay valid while the entry
+/// sleeps (the process is not stepped, and any write to `reg` is dependent
+/// and removes the entry), so they are captured once, when the sibling
+/// branch executed the step.
+struct SleepEntry {
+  int pid = -1;
+  runtime::OpKind kind = runtime::OpKind::kNone;
+  int reg = -1;
+  /// Whether executing the step completed a method call (observed in the
+  /// sibling branch; deterministic, and stable while the entry sleeps).
+  bool completes_call = false;
+};
+
+/// Dependence relation of the reduction (see the header's file comment):
+/// same register with at least one write, or both steps complete a call
+/// (call-boundary stamps make such steps observable to the happens-before
+/// checkers, so they must not be commuted).
+bool dependent(const SleepEntry& a, const SleepEntry& b) {
+  if (a.completes_call && b.completes_call) return true;
+  return a.reg == b.reg &&
+         (runtime::op_kind_writes(a.kind) || runtime::op_kind_writes(b.kind));
+}
 
 class Explorer {
  public:
@@ -15,7 +46,7 @@ class Explorer {
   void run() {
     ExplorationInstance root = factory_();
     runtime::Schedule prefix;
-    dfs(std::move(root), prefix);
+    dfs(std::move(root), prefix, {});
   }
 
  private:
@@ -34,31 +65,35 @@ class Explorer {
     return false;
   }
 
-  /// `instance.sys` is at the configuration reached by `prefix`.
-  void dfs(ExplorationInstance instance, runtime::Schedule& prefix) {
+  /// `instance.sys` is at the configuration reached by `prefix`. `sleep`
+  /// holds the transitions put to sleep by ancestors' earlier siblings
+  /// (always empty without opts_.por).
+  void dfs(ExplorationInstance instance, runtime::Schedule& prefix,
+           std::vector<SleepEntry> sleep) {
     if (stopped()) return;
     if (prefix.size() > result_.max_depth_seen) {
       result_.max_depth_seen = prefix.size();
     }
 
-    std::vector<int> candidates;
+    std::vector<int> live;
     for (int p = 0; p < instance.sys->num_processes(); ++p) {
-      if (!instance.sys->finished(p)) candidates.push_back(p);
+      if (!instance.sys->finished(p)) live.push_back(p);
     }
 
     // Depth guard (real runtime check, not an assertion): a prefix this long
     // with live processes means the programs likely never terminate. Record
     // one violation and stop the whole exploration via stopped().
-    if (!candidates.empty() && prefix.size() >= opts_.max_depth) {
+    if (!live.empty() && prefix.size() >= opts_.max_depth) {
       result_.depth_exceeded = true;
       result_.violations.push_back(
           "max_depth " + std::to_string(opts_.max_depth) +
           " reached with unfinished processes — non-terminating program? "
-          "[schedule: " + runtime::schedule_to_string(prefix, 256) + "]");
+          "[live pids: " + runtime::schedule_to_string(live, 256) +
+          "] [schedule: " + runtime::schedule_to_string(prefix, 256) + "]");
       return;
     }
 
-    if (candidates.empty()) {
+    if (live.empty()) {
       ++result_.executions;
       if (auto violation = instance.check()) {
         result_.violations.push_back(
@@ -69,6 +104,29 @@ class Explorer {
     }
 
     ++result_.nodes;
+
+    // Candidates: live processes that are not asleep here. An empty set with
+    // live processes is the sleep-set prune — every maximal execution below
+    // is equivalent to one already explored from an earlier sibling.
+    std::vector<int> candidates;
+    if (opts_.por && !sleep.empty()) {
+      for (int p : live) {
+        const bool asleep = std::any_of(
+            sleep.begin(), sleep.end(),
+            [p](const SleepEntry& z) { return z.pid == p; });
+        if (!asleep) candidates.push_back(p);
+      }
+      if (candidates.empty()) {
+        ++result_.sleep_pruned;
+        return;
+      }
+    } else {
+      candidates = live;
+    }
+
+    // `z` grows as siblings are explored: inherited sleepers plus every
+    // transition already taken from this node.
+    std::vector<SleepEntry> z = std::move(sleep);
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       if (stopped()) return;
       ExplorationInstance child;
@@ -81,10 +139,25 @@ class Explorer {
         runtime::run_script(*child.sys, prefix);
       }
       const int pid = candidates[i];
+      const runtime::PendingOp op = child.sys->pending(pid);
+      const std::uint64_t calls_before = child.sys->calls_completed(pid);
       child.sys->step(pid);
+      const SleepEntry taken{pid, op.kind, op.reg,
+                             child.sys->calls_completed(pid) > calls_before};
+
+      std::vector<SleepEntry> child_sleep;
+      if (opts_.por) {
+        // Sleepers stay asleep below the child only while independent of
+        // the transition just taken; dependent ones wake up.
+        for (const SleepEntry& entry : z) {
+          if (!dependent(entry, taken)) child_sleep.push_back(entry);
+        }
+      }
+
       prefix.push_back(pid);
-      dfs(std::move(child), prefix);
+      dfs(std::move(child), prefix, std::move(child_sleep));
       prefix.pop_back();
+      if (opts_.por) z.push_back(taken);
     }
   }
 
@@ -101,6 +174,34 @@ ExploreResult explore_all_executions(const InstanceFactory& factory,
   Explorer explorer(factory, opts, result);
   explorer.run();
   return result;
+}
+
+std::string strip_schedule_suffix(const std::string& violation) {
+  const std::size_t pos = violation.rfind(" [schedule:");
+  return pos == std::string::npos ? violation : violation.substr(0, pos);
+}
+
+PorCrossCheck crosscheck_por(const InstanceFactory& factory,
+                             ExploreOptions opts) {
+  PorCrossCheck cc;
+  opts.por = false;
+  cc.full = explore_all_executions(factory, opts);
+  opts.por = true;
+  cc.reduced = explore_all_executions(factory, opts);
+
+  std::set<std::string> full_set;
+  std::set<std::string> reduced_set;
+  for (const auto& v : cc.full.violations) {
+    full_set.insert(strip_schedule_suffix(v));
+  }
+  for (const auto& v : cc.reduced.violations) {
+    reduced_set.insert(strip_schedule_suffix(v));
+  }
+  std::set_difference(full_set.begin(), full_set.end(), reduced_set.begin(),
+                      reduced_set.end(), std::back_inserter(cc.only_full));
+  std::set_difference(reduced_set.begin(), reduced_set.end(), full_set.begin(),
+                      full_set.end(), std::back_inserter(cc.only_reduced));
+  return cc;
 }
 
 }  // namespace stamped::verify

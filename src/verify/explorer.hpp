@@ -8,9 +8,37 @@
 // with 2 processes", a statement no finite number of random schedules can
 // certify.
 //
-// No partial-order reduction is applied; the budget caps the raw tree. The
-// per-node sibling cost is one replay of the prefix (configurations cannot
-// be copied, only reconstructed).
+// With ExploreOptions::por the DFS applies sleep-set partial-order reduction
+// (Godefr style): after a branch explores transition t from a node, its
+// sibling branches put t to sleep and skip any node where every live process
+// is asleep — each pruned subtree contains only executions Mazurkiewicz-
+// equivalent (reorderings of adjacent independent steps) to ones already
+// explored. Two steps are *independent* iff they touch different registers,
+// or the same register with neither writing (read-read independence), AND
+// not both complete a method call. The call-completion clause covers the
+// happens-before checks: response stamps, and the invocation stamps of every
+// call after a process's first, are taken inside call-completing steps, so
+// commuting steps of which at most one completes a call preserves those
+// happens-before pairs, the recorded timestamps, and hence the check verdict
+// of each execution. A sleeping process's pending op cannot change while it
+// sleeps (any write to a register it is about to access is dependent and
+// wakes it), which is the classic persistence argument that makes sleep sets
+// miss no violation.
+//
+// Known scope limit (inherited from the exploration tree itself, not
+// introduced by the reduction): each process's FIRST invocation stamp is
+// taken when its coroutine starts — at the root for a live instance, after
+// the prefix for a replayed sibling — so hb pairs involving a first
+// invocation depend on the tree's replay structure, which differs between
+// the full and reduced trees (and between branches of the full tree). The
+// reduction is therefore exactly violation-preserving for checks derived
+// from register values and per-process observations (schedule-determined),
+// and for hb-based checks on all pairs not involving a first-call
+// invocation; for the remainder, crosscheck_por() is the certification tool
+// — it runs both trees and diffs the violation sets.
+//
+// The budget caps the raw tree. The per-node sibling cost is one replay of
+// the prefix (configurations cannot be copied, only reconstructed).
 #pragma once
 
 #include <cstdint>
@@ -42,12 +70,18 @@ struct ExploreOptions {
   /// exploration stops (a real runtime check — not an assertion, so it also
   /// fires in builds that disable assertions).
   std::uint64_t max_depth = 1u << 14;
+  /// Sleep-set + read-read-independence partial-order reduction (see file
+  /// comment). Off by default: the full DFS remains the reference tree.
+  bool por = false;
 };
 
 struct ExploreResult {
   std::uint64_t executions = 0;       ///< complete executions checked
   std::uint64_t nodes = 0;            ///< interior scheduling decisions
   std::uint64_t max_depth_seen = 0;
+  /// Nodes where every live process was asleep: the roots of the subtrees
+  /// the sleep sets pruned (always 0 without ExploreOptions::por).
+  std::uint64_t sleep_pruned = 0;
   bool budget_exhausted = false;
   /// A schedule prefix hit ExploreOptions::max_depth with live processes
   /// (non-terminating program?); a violation describing it was recorded and
@@ -62,5 +96,33 @@ struct ExploreResult {
 /// and applies the instance check at each; see file comment.
 ExploreResult explore_all_executions(const InstanceFactory& factory,
                                      const ExploreOptions& opts = {});
+
+/// A violation message with its " [schedule: ...]" suffix stripped — the
+/// canonical form under which the full and reduced trees are compared (the
+/// full DFS reports one violation per violating execution; the reduced tree
+/// reports one per equivalence class, reached through a different schedule).
+[[nodiscard]] std::string strip_schedule_suffix(const std::string& violation);
+
+/// Result of running the same factory through the full DFS and the
+/// POR-reduced DFS and diffing their canonical violation sets.
+struct PorCrossCheck {
+  ExploreResult full;     ///< opts with por = false
+  ExploreResult reduced;  ///< opts with por = true
+  /// Canonical violations found by exactly one of the two trees. Both empty
+  /// iff the reduction provably lost (and invented) nothing on this instance.
+  std::vector<std::string> only_full;
+  std::vector<std::string> only_reduced;
+
+  [[nodiscard]] bool agree() const {
+    return only_full.empty() && only_reduced.empty();
+  }
+};
+
+/// Cross-check mode: explores the factory twice (full, then POR) with the
+/// same budget and compares the violation sets modulo schedule suffix. Used
+/// by the tests that prove the reduced tree finds the same violations on
+/// seeded-buggy instances while visiting strictly fewer nodes.
+PorCrossCheck crosscheck_por(const InstanceFactory& factory,
+                             ExploreOptions opts = {});
 
 }  // namespace stamped::verify

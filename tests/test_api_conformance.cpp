@@ -112,6 +112,46 @@ TEST_P(FamilyConformance, TimestampPropertyInExploredInterleavings) {
   }
 }
 
+TEST_P(FamilyConformance, PorExplorerVisitsFewerNodesAndAgrees) {
+  // The sleep-set reduced tree must certify the same n=2 model check as the
+  // full DFS — identical (empty) violation set — while visiting strictly
+  // fewer interior nodes. Exception: fetchadd serializes every step through
+  // its single counter register, so all transitions are pairwise dependent
+  // and no reduction exists; the reduced tree may only match the full one.
+  api::ScenarioSpec spec;
+  spec.n = 2;
+  spec.calls_per_process = 1;
+  verify::ExploreOptions opts;
+  opts.max_executions = 1u << 17;
+  const auto full = api::Harness{}.run_scenario(
+      fam(), spec, api::exhaustive_explorer(opts));
+  opts.por = true;
+  const auto reduced = api::Harness{}.run_scenario(
+      fam(), spec, api::exhaustive_explorer(opts));
+
+  EXPECT_TRUE(full.ok()) << full.summary();
+  EXPECT_TRUE(reduced.ok()) << reduced.summary();
+  // The reduced tree must fit comfortably; the full tree may hit the budget
+  // on the record-register families (growing-oneshot's pool makes its raw
+  // n=2 tree exceed 2^17 executions) — its node count is then a lower bound,
+  // which only strengthens the strict comparison below.
+  if (fam().name != "growing-oneshot") {
+    EXPECT_FALSE(full.budget_exhausted) << full.summary();
+  }
+  EXPECT_FALSE(reduced.budget_exhausted) << reduced.summary();
+  EXPECT_EQ(full.violations, reduced.violations);
+  EXPECT_GT(reduced.executions, 0u);
+  EXPECT_LE(reduced.executions, full.executions);
+  if (fam().name == "fetchadd") {
+    EXPECT_EQ(reduced.nodes, full.nodes) << reduced.summary();
+  } else {
+    EXPECT_LT(reduced.nodes, full.nodes)
+        << "POR found no reduction: " << reduced.summary() << " vs "
+        << full.summary();
+    EXPECT_GT(reduced.sleep_pruned, 0u) << reduced.summary();
+  }
+}
+
 TEST_P(FamilyConformance, ReplayFactoryIsDeterministic) {
   // The registry factory must clone configurations by replay: two systems
   // stepped through the same schedule report identical register files.

@@ -174,6 +174,10 @@ TEST(Explorer, DepthGuardStopsNonTerminatingPrograms) {
   ASSERT_EQ(result.violations.size(), 1u);
   EXPECT_NE(result.violations[0].find("max_depth 50"), std::string::npos)
       << result.violations[0];
+  // The message names the processes that were still live at the cutoff, not
+  // just the schedule prefix.
+  EXPECT_NE(result.violations[0].find("[live pids: 0]"), std::string::npos)
+      << result.violations[0];
 }
 
 TEST(Explorer, RespectsExecutionBudget) {
@@ -183,6 +187,108 @@ TEST(Explorer, RespectsExecutionBudget) {
       []() { return simple_instance(3); }, opts);
   EXPECT_TRUE(result.budget_exhausted);
   EXPECT_EQ(result.executions, 5u);
+}
+
+// -- partial-order reduction -------------------------------------------------
+
+TEST(Por, ReducesSimpleAlgorithmTreeAndStaysClean) {
+  verify::ExploreOptions opts;
+  opts.por = true;
+  const auto full = verify::explore_all_executions(
+      []() { return simple_instance(3); });
+  const auto reduced = verify::explore_all_executions(
+      []() { return simple_instance(3); }, opts);
+  EXPECT_TRUE(full.ok());
+  EXPECT_TRUE(reduced.ok()) << reduced.violations.front();
+  EXPECT_LT(reduced.nodes, full.nodes);
+  EXPECT_LT(reduced.executions, full.executions);
+  EXPECT_GT(reduced.sleep_pruned, 0u);
+  EXPECT_EQ(full.sleep_pruned, 0u);  // full DFS never prunes
+}
+
+TEST(Por, ReducesSqrtAlgorithmTreeAndStaysClean) {
+  verify::ExploreOptions opts;
+  opts.por = true;
+  const auto full = verify::explore_all_executions(
+      []() { return sqrt_instance(2); });
+  const auto reduced = verify::explore_all_executions(
+      []() { return sqrt_instance(2); }, opts);
+  EXPECT_TRUE(full.ok());
+  EXPECT_TRUE(reduced.ok()) << reduced.violations.front();
+  EXPECT_FALSE(reduced.budget_exhausted);
+  EXPECT_LT(reduced.nodes, full.nodes);
+}
+
+// A seeded-buggy "timestamp object": each process reads the shared counter
+// and writes back +1, returning what it wrote — two processes that read
+// before either writes return the SAME timestamp. The check is derived from
+// register values only (no happens-before stamps), so its verdict — and its
+// message — is a function of the schedule alone, which is what makes the
+// full-vs-reduced violation sets comparable modulo schedule suffix.
+runtime::ProcessTask racy_increment_program(
+    BrokenSys::Ctx& ctx, int pid,
+    std::shared_ptr<std::vector<std::int64_t>> returned) {
+  const std::int64_t seen = co_await ctx.read(0);
+  co_await ctx.write(0, seen + 1);
+  (*returned)[static_cast<std::size_t>(pid)] = seen + 1;
+  ctx.note_call_complete();
+}
+
+verify::InstanceFactory racy_increment_factory() {
+  return []() {
+    auto returned = std::make_shared<std::vector<std::int64_t>>(2, -1);
+    std::vector<BrokenSys::Program> programs;
+    for (int p = 0; p < 2; ++p) {
+      programs.push_back([p, returned](BrokenSys::Ctx& ctx) {
+        return racy_increment_program(ctx, p, returned);
+      });
+    }
+    verify::ExplorationInstance inst;
+    inst.sys =
+        std::make_unique<BrokenSys>(1, std::int64_t{0}, std::move(programs));
+    inst.check = [returned]() -> std::optional<std::string> {
+      if ((*returned)[0] == (*returned)[1]) {
+        return "duplicate timestamp " + std::to_string((*returned)[0]);
+      }
+      return std::nullopt;
+    };
+    return inst;
+  };
+}
+
+TEST(Por, CrossCheckFindsIdenticalViolationSetOnSeededBuggyInstance) {
+  const auto cc = verify::crosscheck_por(racy_increment_factory());
+  // Both trees must convict the instance, with the same canonical set.
+  EXPECT_FALSE(cc.full.ok());
+  EXPECT_FALSE(cc.reduced.ok());
+  EXPECT_TRUE(cc.agree())
+      << "only_full=" << (cc.only_full.empty() ? "" : cc.only_full.front())
+      << " only_reduced="
+      << (cc.only_reduced.empty() ? "" : cc.only_reduced.front());
+  // The reduced tree proves the same verdict on strictly less work: the full
+  // tree sees the duplicate in 4 of its 6 interleavings, the reduced tree in
+  // at least one representative of that equivalence class.
+  EXPECT_LT(cc.reduced.nodes, cc.full.nodes);
+  EXPECT_EQ(cc.full.executions, 6u);
+  EXPECT_GE(cc.reduced.violations.size(), 1u);
+  EXPECT_NE(cc.reduced.violations[0].find("duplicate timestamp 1"),
+            std::string::npos)
+      << cc.reduced.violations[0];
+}
+
+TEST(Por, CrossCheckAgreesOnCleanInstances) {
+  const auto cc = verify::crosscheck_por([]() { return simple_instance(2); });
+  EXPECT_TRUE(cc.full.ok());
+  EXPECT_TRUE(cc.reduced.ok());
+  EXPECT_TRUE(cc.agree());
+  EXPECT_EQ(cc.full.executions, 20u);
+  EXPECT_LT(cc.reduced.nodes, cc.full.nodes);
+}
+
+TEST(Por, StripScheduleSuffix) {
+  EXPECT_EQ(verify::strip_schedule_suffix("boom [schedule: 0 1 1]"), "boom");
+  EXPECT_EQ(verify::strip_schedule_suffix("no suffix here"),
+            "no suffix here");
 }
 
 }  // namespace

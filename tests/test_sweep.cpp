@@ -1,0 +1,142 @@
+// Tests: Harness::run_scenario_sweep — the parallel scenario grid runner.
+//
+// Replay determinism is the property that makes the sweep safe: every worker
+// owns its own System, so the per-spec reports must be byte-identical to a
+// serial loop of run_scenario calls, whatever the worker interleaving.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/harness.hpp"
+#include "api/registry.hpp"
+
+namespace {
+
+using namespace stamped;
+
+std::vector<api::ScenarioSpec> maxscan_grid() {
+  std::vector<api::ScenarioSpec> grid;
+  for (int n : {2, 3, 5, 8}) {
+    for (int calls : {1, 3}) {
+      for (std::uint64_t seed : {11u, 22u}) {
+        api::ScenarioSpec spec;
+        spec.n = n;
+        spec.calls_per_process = calls;
+        spec.seed = seed;
+        grid.push_back(spec);
+      }
+    }
+  }
+  return grid;
+}
+
+TEST(ScenarioSweep, MatchesSerialRunsExactly) {
+  const api::Harness harness;
+  const auto grid = maxscan_grid();
+  const auto sweep = harness.run_scenario_sweep(
+      api::family("maxscan"), grid, api::seeded_random(), {}, 4);
+  ASSERT_EQ(sweep.reports.size(), grid.size());
+  EXPECT_TRUE(sweep.ok()) << sweep.summary();
+  EXPECT_EQ(sweep.workers, 4);
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto serial = harness.run_scenario(api::family("maxscan"), grid[i],
+                                             api::seeded_random());
+    EXPECT_EQ(sweep.reports[i].summary(), serial.summary()) << i;
+    EXPECT_EQ(sweep.reports[i].steps, serial.steps) << i;
+    EXPECT_EQ(sweep.reports[i].registers_written, serial.registers_written)
+        << i;
+  }
+}
+
+TEST(ScenarioSweep, AggregatesTotals) {
+  const api::Harness harness;
+  const auto grid = maxscan_grid();
+  const auto sweep = harness.run_scenario_sweep(
+      api::family("maxscan"), grid, api::round_robin(), {}, 3);
+  std::uint64_t steps = 0;
+  std::uint64_t calls = 0;
+  for (const auto& rep : sweep.reports) {
+    steps += rep.steps;
+    calls += rep.calls;
+  }
+  EXPECT_EQ(sweep.total_steps, steps);
+  EXPECT_EQ(sweep.total_calls, calls);
+  EXPECT_EQ(sweep.scenarios_failed, 0u);
+  EXPECT_GT(sweep.total_calls, 0u);
+}
+
+TEST(ScenarioSweep, WorkerCountDefaultsAndClamps) {
+  const api::Harness harness;
+  std::vector<api::ScenarioSpec> grid(2);
+  grid[0].n = 2;
+  grid[1].n = 3;
+  // More workers than specs: clamped to the grid size.
+  const auto sweep = harness.run_scenario_sweep(
+      api::family("maxscan"), grid, api::round_robin(), {}, 16);
+  EXPECT_EQ(sweep.workers, 2);
+  EXPECT_TRUE(sweep.ok());
+  // Empty grid: no workers, empty report.
+  const auto empty = harness.run_scenario_sweep(
+      api::family("maxscan"), {}, api::round_robin());
+  EXPECT_TRUE(empty.reports.empty());
+  EXPECT_TRUE(empty.ok());
+}
+
+TEST(ScenarioSweep, CountsOnlyRecordingKeepsCheckersWorking) {
+  // kCountsOnly skips the System's per-step bookkeeping but the CallLog is
+  // program-level, so the history checkers still see every call.
+  const api::Harness harness;
+  std::vector<api::ScenarioSpec> grid;
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    api::ScenarioSpec spec;
+    spec.n = 4;
+    spec.calls_per_process = 3;
+    spec.seed = seed;
+    spec.recording = runtime::RecordingMode::kCountsOnly;
+    grid.push_back(spec);
+  }
+  const auto sweep = harness.run_scenario_sweep(
+      api::family("maxscan"), grid, api::seeded_random(), {}, 2);
+  EXPECT_TRUE(sweep.ok()) << sweep.summary();
+  for (const auto& rep : sweep.reports) {
+    EXPECT_TRUE(rep.all_finished) << rep.summary();
+    EXPECT_GT(rep.ordered_pairs, 0u) << rep.summary();
+  }
+}
+
+TEST(ScenarioSweep, ExhaustiveSourceRejectsCountsOnlyRecording) {
+  // The explorer needs full recording (prefix replay, views); the conflict
+  // must be rejected loudly, not silently run in kFull.
+  api::ScenarioSpec spec;
+  spec.n = 2;
+  spec.recording = runtime::RecordingMode::kCountsOnly;
+  EXPECT_THROW(static_cast<void>(api::Harness{}.run_scenario(
+                   api::family("simple-oneshot"), spec,
+                   api::exhaustive_explorer())),
+               invariant_error);
+}
+
+TEST(ScenarioSweep, ExhaustiveSourceSweepsInParallel) {
+  // The explorer source also fans out: each worker runs its own exploration.
+  const api::Harness harness;
+  std::vector<api::ScenarioSpec> grid;
+  for (int n : {2, 2, 2}) {
+    api::ScenarioSpec spec;
+    spec.n = n;
+    grid.push_back(spec);
+  }
+  verify::ExploreOptions opts;
+  opts.por = true;
+  const auto sweep = harness.run_scenario_sweep(
+      api::family("simple-oneshot"), grid, api::exhaustive_explorer(opts), {},
+      3);
+  EXPECT_TRUE(sweep.ok()) << sweep.summary();
+  for (const auto& rep : sweep.reports) {
+    EXPECT_GT(rep.executions, 0u);
+    EXPECT_GT(rep.nodes, 0u);
+  }
+}
+
+}  // namespace
