@@ -175,7 +175,11 @@ std::string ScenarioReport::summary() const {
      << spec.calls_per_process << "): ";
   if (schedule == "exhaustive") {
     os << executions << " executions, " << nodes << " nodes";
-    if (sleep_pruned > 0) os << " (" << sleep_pruned << " pruned)";
+    if (sleep_pruned > 0 || persistent_deferred > 0) {
+      os << " (" << sleep_pruned << " pruned, " << persistent_deferred
+         << " deferred)";
+    }
+    if (explore_workers > 1) os << " on " << explore_workers << " workers";
     os << ", ";
   } else {
     os << steps << " steps, " << calls << " calls, registers "
@@ -211,7 +215,12 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
     STAMPED_ASSERT_MSG(spec.recording == runtime::RecordingMode::kFull,
                        "the exhaustive explorer requires "
                        "ScenarioSpec::recording == kFull");
-    auto worst_written = std::make_shared<int>(0);
+    verify::ExploreOptions opts = source.explore;
+    if (spec.explore_threads > 0) opts.threads = spec.explore_threads;
+    // Instances are worker-private, but the worst-registers-written
+    // accumulator is shared across the whole exploration — atomic, because
+    // the parallel DFS runs checks from several workers at once.
+    auto worst_written = std::make_shared<std::atomic<int>>(0);
     const verify::InstanceFactory factory = [&family, &spec, &checkers,
                                              worst_written]() {
       std::shared_ptr<FamilyInstance> inst{family.make(spec)};
@@ -220,7 +229,12 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
       runtime::ISystem* raw = e.sys.get();
       e.check = [inst, raw, &checkers,
                  worst_written]() -> std::optional<std::string> {
-        *worst_written = std::max(*worst_written, raw->registers_written());
+        const int written = raw->registers_written();
+        int cur = worst_written->load(std::memory_order_relaxed);
+        while (written > cur &&
+               !worst_written->compare_exchange_weak(
+                   cur, written, std::memory_order_relaxed)) {
+        }
         ScenarioReport branch;
         apply_checkers(inst->calls(), checkers, branch);
         if (!branch.violations.empty()) return branch.violations.front();
@@ -228,13 +242,14 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
       };
       return e;
     };
-    const auto result = verify::explore_all_executions(factory,
-                                                       source.explore);
+    const auto result = verify::explore_all_executions(factory, opts);
     rep.executions = result.executions;
     rep.nodes = result.nodes;
     rep.sleep_pruned = result.sleep_pruned;
+    rep.persistent_deferred = result.persistent_deferred;
+    rep.explore_workers = result.workers;
     rep.budget_exhausted = result.budget_exhausted;
-    rep.registers_written = *worst_written;
+    rep.registers_written = worst_written->load(std::memory_order_relaxed);
     rep.all_finished = !result.depth_exceeded;
     rep.violations = result.violations;
     return rep;

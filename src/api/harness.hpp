@@ -91,9 +91,17 @@ struct ScenarioReport {
   bool budget_exhausted = false;
 
   /// kExhaustive only: interior scheduling nodes visited / subtrees the
-  /// sleep sets pruned (0 unless ExploreOptions::por).
+  /// sleep sets pruned (0 unless ExploreOptions::por) / sibling branches the
+  /// persistent sets deferred (0 unless ExploreOptions::persistent).
   std::uint64_t nodes = 0;
   std::uint64_t sleep_pruned = 0;
+  std::uint64_t persistent_deferred = 0;
+
+  /// kExhaustive only: worker threads the exploration actually used —
+  /// ScenarioSpec::explore_threads when set, else the source's
+  /// ExploreOptions::threads, with 0 resolved to hardware concurrency (so
+  /// this reports the real pool size, never 0).
+  int explore_workers = 0;
 
   Metrics metrics;
   std::vector<std::string> violations;

@@ -40,6 +40,11 @@ struct ScenarioSpec {
   /// The exhaustive-explorer schedule source requires kFull and rejects
   /// anything else.
   runtime::RecordingMode recording = runtime::RecordingMode::kFull;
+  /// Worker threads for the exhaustive-explorer schedule source (the
+  /// work-stealing parallel DFS; see verify::ExploreOptions::threads).
+  /// 0 = keep whatever the schedule source's ExploreOptions carry; > 0
+  /// overrides them for this scenario. Ignored by driver-based sources.
+  int explore_threads = 0;
 
   [[nodiscard]] std::int64_t total_calls() const {
     return static_cast<std::int64_t>(n) * calls_per_process;

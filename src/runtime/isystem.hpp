@@ -158,6 +158,36 @@ class ISystem {
   /// deterministic functions of their observations).
   [[nodiscard]] virtual std::string process_view(int pid) const = 0;
 
+  /// Bitmask of unfinished processes (bit p set iff process p is live).
+  /// Requires n <= 64; the explorer's sleep sets and persistent sets are pid
+  /// bitmasks of the same width, so the whole candidate computation is a few
+  /// word operations per node instead of n virtual calls. May start
+  /// never-inspected coroutines (see the class comment on const-ness).
+  /// System<V> overrides this with a devirtualized loop.
+  [[nodiscard]] virtual std::uint64_t unfinished_mask() {
+    const int n = num_processes();
+    STAMPED_ASSERT_MSG(n <= 64, "unfinished_mask supports at most 64 "
+                                "processes, got " << n);
+    std::uint64_t mask = 0;
+    for (int p = 0; p < n; ++p) {
+      if (!finished(p)) mask |= std::uint64_t{1} << p;
+    }
+    return mask;
+  }
+
+  /// The register footprint of every process's pending op in one call:
+  /// fills `out[p] = pending(p)` for all p ({kNone} for finished processes).
+  /// This is the cheap batched query the explorer's persistent-set
+  /// computation runs at every branching node; System<V> overrides it with
+  /// direct slot reads (one virtual call per node instead of n).
+  virtual void pending_all(std::vector<PendingOp>& out) {
+    const int n = num_processes();
+    out.resize(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      out[static_cast<std::size_t>(p)] = pending(p);
+    }
+  }
+
   // ---- conveniences built on the primitives -------------------------------
 
   /// True if every process has finished.

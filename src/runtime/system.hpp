@@ -343,6 +343,36 @@ class System final : public ISystem {
     return views_[idx(pid)];
   }
 
+  /// Devirtualized liveness scan: one virtual call per explorer node instead
+  /// of n `finished()` calls (the explorer sits on this at every node).
+  [[nodiscard]] std::uint64_t unfinished_mask() override {
+    const int n = num_processes();
+    STAMPED_ASSERT_MSG(n <= 64, "unfinished_mask supports at most 64 "
+                                "processes, got " << n);
+    std::uint64_t mask = 0;
+    for (int p = 0; p < n; ++p) {
+      ensure_started(p);
+      if (!tasks_[idx(p)].done()) mask |= std::uint64_t{1} << p;
+    }
+    return mask;
+  }
+
+  /// Batched pending-op footprints by direct slot reads (persistent-set
+  /// computation; see ISystem::pending_all).
+  void pending_all(std::vector<PendingOp>& out) override {
+    const int n = num_processes();
+    out.resize(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      ensure_started(p);
+      if (tasks_[idx(p)].done()) {
+        out[idx(p)] = {};
+      } else {
+        const Slot& s = slots_[idx(p)];
+        out[idx(p)] = {s.kind, s.reg};
+      }
+    }
+  }
+
   // ---- recording mode -----------------------------------------------------
 
   [[nodiscard]] RecordingMode recording_mode() const override {

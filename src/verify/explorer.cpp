@@ -1,8 +1,18 @@
 #include "verify/explorer.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
 #include <iterator>
+#include <limits>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "runtime/history.hpp"
@@ -11,169 +21,545 @@ namespace stamped::verify {
 
 namespace {
 
-/// One transition that an earlier sibling branch already explored from some
-/// ancestor node, now asleep: stepping this pid from here would only reach
-/// executions equivalent to already-explored ones, unless a dependent
-/// transition wakes it first. The recorded fields stay valid while the entry
-/// sleeps (the process is not stepped, and any write to `reg` is dependent
-/// and removes the entry), so they are captured once, when the sibling
-/// branch executed the step.
-struct SleepEntry {
-  int pid = -1;
-  runtime::OpKind kind = runtime::OpKind::kNone;
-  int reg = -1;
-  /// Whether executing the step completed a method call (observed in the
-  /// sibling branch; deterministic, and stable while the entry sleeps).
-  bool completes_call = false;
-};
+/// Sleep sets (and the live/awake candidate math) are pid bitmasks, so the
+/// explorer handles at most 64 processes — far beyond any tree that fits an
+/// execution budget. The mask type is static-asserted to carry one bit per
+/// supported pid; the per-run process count is checked at runtime by
+/// ISystem::unfinished_mask.
+constexpr int kMaxProcs = 64;
+static_assert(std::numeric_limits<std::uint64_t>::digits >= kMaxProcs,
+              "sleep-set masks are std::uint64_t: one bit per pid");
+
+constexpr std::uint64_t bit(int pid) {
+  return std::uint64_t{1} << pid;
+}
+
+// A sleeping transition packs into one word: the register footprint in the
+// low 24 bits, the op kind above it, and whether executing the step completed
+// a method call (observed in the sibling branch that executed it;
+// deterministic, and stable while the entry sleeps — the process is not
+// stepped, and any write to its register is dependent and wakes it).
+constexpr std::uint32_t kSleepRegMask = (1u << 24) - 1;
+constexpr int kSleepKindShift = 24;
+constexpr std::uint32_t kSleepCompletesBit = 1u << 27;
+// The kind field is 3 bits wide (24-26) and sits flush against the
+// completes-call bit; a future OpKind value >= 8 would silently bleed into
+// it and corrupt the dependence relation, so pin the layout at compile time.
+static_assert(static_cast<unsigned>(runtime::OpKind::kFetchAdd) <= 0x7u,
+              "OpKind no longer fits the 3-bit kind field of a packed "
+              "sleep op — widen the layout");
+
+std::uint32_t pack_sleep_op(const runtime::PendingOp& op, bool completes_call) {
+  STAMPED_ASSERT_MSG(op.reg >= 0 &&
+                         static_cast<std::uint32_t>(op.reg) <= kSleepRegMask,
+                     "register index " << op.reg
+                                       << " does not fit a packed sleep op");
+  return static_cast<std::uint32_t>(op.reg) |
+         (static_cast<std::uint32_t>(op.kind) << kSleepKindShift) |
+         (completes_call ? kSleepCompletesBit : 0u);
+}
+
+runtime::OpKind sleep_op_kind(std::uint32_t op) {
+  return static_cast<runtime::OpKind>((op >> kSleepKindShift) & 0x7u);
+}
 
 /// Dependence relation of the reduction (see the header's file comment):
 /// same register with at least one write, or both steps complete a call
 /// (call-boundary stamps make such steps observable to the happens-before
 /// checkers, so they must not be commuted).
-bool dependent(const SleepEntry& a, const SleepEntry& b) {
-  if (a.completes_call && b.completes_call) return true;
-  return a.reg == b.reg &&
-         (runtime::op_kind_writes(a.kind) || runtime::op_kind_writes(b.kind));
+bool sleep_ops_dependent(std::uint32_t a, std::uint32_t b) {
+  if ((a & b & kSleepCompletesBit) != 0) return true;
+  if ((a & kSleepRegMask) != (b & kSleepRegMask)) return false;
+  return runtime::op_kind_writes(sleep_op_kind(a)) ||
+         runtime::op_kind_writes(sleep_op_kind(b));
 }
+
+/// The transitions put to sleep at one node: a pid bitmask plus one packed op
+/// word per sleeping pid. Copies are two fixed-size memcpys (no allocation) —
+/// the per-child sleep-set copy used to be a std::vector of structs on the
+/// explorer's hottest path.
+struct SleepSet {
+  std::uint64_t mask = 0;
+  std::array<std::uint32_t, kMaxProcs> ops{};
+
+  void add(int pid, std::uint32_t op) {
+    mask |= bit(pid);
+    ops[static_cast<std::size_t>(pid)] = op;
+  }
+
+  /// Wakes every sleeping transition dependent on `taken` (executing a
+  /// dependent step invalidates the equivalence argument that justified the
+  /// sleep). Word-iteration over set bits.
+  void wake_dependent(std::uint32_t taken) {
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+      const int p = std::countr_zero(m);
+      if (sleep_ops_dependent(ops[static_cast<std::size_t>(p)], taken)) {
+        mask &= ~bit(p);
+      }
+    }
+  }
+};
+
+/// Pending-op footprint conflict: the dependence relation restricted to what
+/// is knowable before either step executes (register + kind; whether a step
+/// completes a call is only observable by executing it). This is the closure
+/// relation of the persistent-set heuristic.
+bool footprint_conflict(const runtime::PendingOp& a,
+                        const runtime::PendingOp& b) {
+  return a.reg == b.reg && (a.is_write() || b.is_write());
+}
+
+/// One parked unit of work: the configuration reached by `prefix` (to be
+/// reconstructed by one replay), the node's sleep list `z` including every
+/// sibling transition taken so far, and the node's remaining unexplored
+/// candidates. An empty `rest` marks the root entry (expand C0). Stealing an
+/// entry moves exactly this triple to another worker.
+struct FrontierEntry {
+  runtime::Schedule prefix;
+  SleepSet z;
+  std::vector<int> rest;
+};
 
 class Explorer {
  public:
-  Explorer(const InstanceFactory& factory, const ExploreOptions& opts,
-           ExploreResult& result)
-      : factory_(factory), opts_(opts), result_(result) {}
+  Explorer(const InstanceFactory& factory, const ExploreOptions& opts)
+      : factory_(factory), opts_(opts) {
+    STAMPED_ASSERT_MSG(!opts_.persistent || opts_.por,
+                       "ExploreOptions::persistent requires por");
+    STAMPED_ASSERT_MSG(opts_.threads >= 0,
+                       "ExploreOptions::threads must be >= 0");
+  }
 
-  void run() {
-    ExplorationInstance root = factory_();
-    runtime::Schedule prefix;
-    dfs(std::move(root), prefix, {});
+  ExploreResult run() {
+    int threads = opts_.threads;
+    if (threads == 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (threads < 1) threads = 1;
+    }
+    parallel_ = threads > 1;
+
+    if (!parallel_) {
+      stack_.push_back(FrontierEntry{});
+      while (!stack_.empty()) {
+        if (should_stop()) break;
+        FrontierEntry e = std::move(stack_.back());
+        stack_.pop_back();
+        process_entry(0, std::move(e));
+      }
+    } else {
+      workers_.resize(static_cast<std::size_t>(threads));
+      num_workers_ = threads;
+      donate_threshold_ = static_cast<std::size_t>(threads);
+      deque_.push_back(FrontierEntry{});
+      shared_size_.store(1, std::memory_order_relaxed);
+      {
+        std::vector<std::jthread> pool;
+        pool.reserve(static_cast<std::size_t>(threads));
+        for (int w = 0; w < threads; ++w) {
+          pool.emplace_back([this, w] { worker_loop(w); });
+        }
+      }
+      if (first_error_) std::rethrow_exception(first_error_);
+    }
+
+    ExploreResult result;
+    result.executions = executions_.load(std::memory_order_relaxed);
+    result.nodes = nodes_.load(std::memory_order_relaxed);
+    result.max_depth_seen = max_depth_seen_.load(std::memory_order_relaxed);
+    result.sleep_pruned = sleep_pruned_.load(std::memory_order_relaxed);
+    result.persistent_deferred =
+        persistent_deferred_.load(std::memory_order_relaxed);
+    result.workers = threads;
+    result.budget_exhausted =
+        budget_exhausted_.load(std::memory_order_relaxed);
+    result.depth_exceeded = depth_exceeded_.load(std::memory_order_relaxed);
+    result.violations = std::move(violations_);
+    // A lone worker reports violations in DFS order (legacy behavior);
+    // merged parallel results sort them so the outcome is independent of the
+    // worker interleaving.
+    if (parallel_) {
+      std::sort(result.violations.begin(), result.violations.end());
+    }
+    return result;
   }
 
  private:
-  bool budget_left() const {
-    return opts_.max_executions == 0 ||
-           result_.executions < opts_.max_executions;
+  // ---- stop/budget machinery ---------------------------------------------
+
+  void request_stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (parallel_) {
+      // Lock-then-notify so a worker between predicate check and wait cannot
+      // miss the wakeup.
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
   }
 
-  /// True when the whole exploration must halt (as opposed to one branch).
-  bool stopped() {
-    if (result_.depth_exceeded) return true;
-    if (!budget_left()) {
-      result_.budget_exhausted = true;
+  /// True when the whole exploration must halt. Seeing a full budget with
+  /// work still pending is what sets budget_exhausted (a tree that completes
+  /// exactly at its budget is not "exhausted").
+  bool should_stop() {
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    if (opts_.max_executions != 0 &&
+        executions_.load(std::memory_order_relaxed) >= opts_.max_executions) {
+      budget_exhausted_.store(true, std::memory_order_relaxed);
+      request_stop();
       return true;
     }
     return false;
   }
 
-  /// `instance.sys` is at the configuration reached by `prefix`. `sleep`
-  /// holds the transitions put to sleep by ancestors' earlier siblings
-  /// (always empty without opts_.por).
-  void dfs(ExplorationInstance instance, runtime::Schedule& prefix,
-           std::vector<SleepEntry> sleep) {
-    if (stopped()) return;
-    if (prefix.size() > result_.max_depth_seen) {
-      result_.max_depth_seen = prefix.size();
+  /// Claims one execution against the budget; exact in both modes (the
+  /// increment that would exceed the budget is undone, so the final count
+  /// never overshoots).
+  bool claim_execution() {
+    if (opts_.max_executions == 0) {
+      executions_.fetch_add(1, std::memory_order_relaxed);
+      return true;
     }
-
-    std::vector<int> live;
-    for (int p = 0; p < instance.sys->num_processes(); ++p) {
-      if (!instance.sys->finished(p)) live.push_back(p);
+    const std::uint64_t before =
+        executions_.fetch_add(1, std::memory_order_relaxed);
+    if (before >= opts_.max_executions) {
+      executions_.fetch_sub(1, std::memory_order_relaxed);
+      budget_exhausted_.store(true, std::memory_order_relaxed);
+      request_stop();
+      return false;
     }
+    return true;
+  }
 
-    // Depth guard (real runtime check, not an assertion): a prefix this long
-    // with live processes means the programs likely never terminate. Record
-    // one violation and stop the whole exploration via stopped().
-    if (!live.empty() && prefix.size() >= opts_.max_depth) {
-      result_.depth_exceeded = true;
-      result_.violations.push_back(
-          "max_depth " + std::to_string(opts_.max_depth) +
-          " reached with unfinished processes — non-terminating program? "
-          "[live pids: " + runtime::schedule_to_string(live, 256) +
-          "] [schedule: " + runtime::schedule_to_string(prefix, 256) + "]");
+  void note_depth(std::size_t depth) {
+    const auto d = static_cast<std::uint64_t>(depth);
+    std::uint64_t cur = max_depth_seen_.load(std::memory_order_relaxed);
+    while (d > cur && !max_depth_seen_.compare_exchange_weak(
+                          cur, d, std::memory_order_relaxed)) {
+    }
+  }
+
+  void record_violation(std::string message) {
+    std::lock_guard<std::mutex> lock(violations_mu_);
+    violations_.push_back(std::move(message));
+  }
+
+  // ---- the work list ------------------------------------------------------
+
+  /// Parks a sibling entry. Serial mode uses the plain LIFO stack (exact
+  /// recursive-DFS order). In parallel mode the entry lands on the pushing
+  /// worker's PRIVATE stack — zero synchronization on the hot path — and the
+  /// worker donates its OLDEST entries (shallowest prefixes, hence the
+  /// biggest stealable subtrees) to the shared deque only while that deque
+  /// is starving, i.e. some thief may be idle.
+  void push_entry(int wid, FrontierEntry e) {
+    if (!parallel_) {
+      stack_.push_back(std::move(e));
       return;
     }
-
-    if (live.empty()) {
-      ++result_.executions;
-      if (auto violation = instance.check()) {
-        result_.violations.push_back(
-            *violation + " [schedule: " +
-            runtime::schedule_to_string(prefix, 256) + "]");
-      }
-      return;
+    auto& local = workers_[static_cast<std::size_t>(wid)].local;
+    local.push_back(std::move(e));
+    if (shared_size_.load(std::memory_order_relaxed) < donate_threshold_ &&
+        local.size() > 1) {
+      donate(local);
     }
+  }
 
-    ++result_.nodes;
+  void donate(std::deque<FrontierEntry>& local) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (deque_.size() < donate_threshold_ && local.size() > 1) {
+      deque_.push_back(std::move(local.front()));
+      local.pop_front();
+    }
+    shared_size_.store(deque_.size(), std::memory_order_relaxed);
+    cv_.notify_all();
+  }
 
-    // Candidates: live processes that are not asleep here. An empty set with
-    // live processes is the sleep-set prune — every maximal execution below
-    // is equivalent to one already explored from an earlier sibling.
-    std::vector<int> candidates;
-    if (opts_.por && !sleep.empty()) {
-      for (int p : live) {
-        const bool asleep = std::any_of(
-            sleep.begin(), sleep.end(),
-            [p](const SleepEntry& z) { return z.pid == p; });
-        if (!asleep) candidates.push_back(p);
+  void worker_loop(int wid) {
+    auto& local = workers_[static_cast<std::size_t>(wid)].local;
+    for (;;) {
+      FrontierEntry e;
+      if (!local.empty()) {
+        // Own work first, newest entry first: depth-first descent with no
+        // locking. Replays stay short because the newest entry is the
+        // deepest.
+        e = std::move(local.back());
+        local.pop_back();
+      } else {
+        // Starving: steal from the shared deque, or sleep until a peer
+        // donates. The exploration is complete when every worker is idle
+        // with an empty shared deque (no entry can be in flight then).
+        std::unique_lock<std::mutex> lock(mu_);
+        if (stop_.load(std::memory_order_relaxed)) return;
+        if (deque_.empty()) {
+          ++idle_workers_;
+          if (idle_workers_ == num_workers_) {
+            cv_.notify_all();
+            return;
+          }
+          cv_.wait(lock, [this] {
+            return stop_.load(std::memory_order_relaxed) || !deque_.empty() ||
+                   idle_workers_ == num_workers_;
+          });
+          if (stop_.load(std::memory_order_relaxed) ||
+              (deque_.empty() && idle_workers_ == num_workers_)) {
+            return;
+          }
+          --idle_workers_;
+          if (deque_.empty()) continue;  // raced with another thief; retry
+        }
+        // Steal the OLDEST donation: donors push their shallowest prefixes
+        // (the biggest subtrees) to the back, so the front holds the oldest
+        // — and largest — stealable work, amortizing the thief's replay.
+        e = std::move(deque_.front());
+        deque_.pop_front();
+        shared_size_.store(deque_.size(), std::memory_order_relaxed);
       }
-      if (candidates.empty()) {
-        ++result_.sleep_pruned;
+      if (should_stop()) return;
+      try {
+        process_entry(wid, std::move(e));
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        request_stop();
         return;
       }
-    } else {
-      candidates = live;
     }
+  }
 
-    // `z` grows as siblings are explored: inherited sleepers plus every
-    // transition already taken from this node.
-    std::vector<SleepEntry> z = std::move(sleep);
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (stopped()) return;
-      ExplorationInstance child;
-      if (i + 1 == candidates.size()) {
-        // Last sibling may consume the live instance.
-        child = std::move(instance);
-      } else {
-        // Earlier siblings reconstruct the prefix on a fresh instance.
-        child = factory_();
-        runtime::run_script(*child.sys, prefix);
-      }
-      const int pid = candidates[i];
-      const runtime::PendingOp op = child.sys->pending(pid);
-      const std::uint64_t calls_before = child.sys->calls_completed(pid);
-      child.sys->step(pid);
-      const SleepEntry taken{pid, op.kind, op.reg,
-                             child.sys->calls_completed(pid) > calls_before};
+  /// Reconstructs the entry's configuration by one replay of the prefix,
+  /// then resumes its node's sibling loop (or expands C0 for the root).
+  void process_entry(int wid, FrontierEntry e) {
+    ExplorationInstance inst = factory_();
+    if (!e.prefix.empty()) runtime::run_script(*inst.sys, e.prefix);
+    chain(wid, std::move(inst), std::move(e.prefix), e.z, std::move(e.rest));
+  }
 
-      std::vector<SleepEntry> child_sleep;
-      if (opts_.por) {
-        // Sleepers stay asleep below the child only while independent of
-        // the transition just taken; dependent ones wake up.
-        for (const SleepEntry& entry : z) {
-          if (!dependent(entry, taken)) child_sleep.push_back(entry);
+  // ---- the DFS chain ------------------------------------------------------
+
+  /// Drives one instance down the tree in place: at each node the first
+  /// candidate is stepped on the live instance (no replay) and the remaining
+  /// siblings are parked as a frontier entry. With one worker the LIFO stack
+  /// makes this exactly the classic recursive DFS, sibling order and all.
+  ///
+  /// `candidates` nonempty means the chain resumes a parked sibling loop:
+  /// the node was already expanded (counted, depth-checked, candidate set
+  /// fixed) by whoever explored its first sibling, and `sleep` is the node's
+  /// z including every sibling transition taken so far.
+  /// Chain-local counter accumulator: one flush of the shared atomics per
+  /// chain instead of one fetch_add per node, so parallel workers do not
+  /// ping-pong the counter cache lines (a chain descends to exactly one leaf
+  /// or prune, so `executions` needs no batching — the budget claim is the
+  /// single per-chain atomic that must stay global).
+  struct ChainCounters {
+    Explorer* owner;
+    std::uint64_t nodes = 0;
+    std::uint64_t sleep_pruned = 0;
+    std::uint64_t persistent_deferred = 0;
+    std::uint64_t max_depth = 0;
+
+    explicit ChainCounters(Explorer* e) : owner(e) {}
+    ChainCounters(const ChainCounters&) = delete;
+    ChainCounters& operator=(const ChainCounters&) = delete;
+    ~ChainCounters() {
+      owner->nodes_.fetch_add(nodes, std::memory_order_relaxed);
+      owner->sleep_pruned_.fetch_add(sleep_pruned, std::memory_order_relaxed);
+      owner->persistent_deferred_.fetch_add(persistent_deferred,
+                                            std::memory_order_relaxed);
+      owner->note_depth(max_depth);
+    }
+  };
+
+  void chain(int wid, ExplorationInstance inst, runtime::Schedule prefix,
+             SleepSet sleep, std::vector<int> candidates) {
+    bool resumed = !candidates.empty();
+    std::vector<runtime::PendingOp> pending_buf;
+    ChainCounters counters(this);
+    for (;;) {
+      if (should_stop()) return;
+
+      if (!resumed) {
+        if (prefix.size() > counters.max_depth) {
+          counters.max_depth = prefix.size();
+        }
+        const std::uint64_t live = inst.sys->unfinished_mask();
+        if (live == 0) {
+          leaf(inst, prefix);
+          return;
+        }
+        // Depth guard (real runtime check, not an assertion): a prefix this
+        // long with live processes means the programs likely never
+        // terminate. Record one violation and stop the whole exploration.
+        if (prefix.size() >= opts_.max_depth) {
+          depth_violation(wid, live, prefix);
+          return;
+        }
+        ++counters.nodes;
+
+        // Candidates: live processes that are not asleep here. Zero awake
+        // processes with live ones is the sleep-set prune — every maximal
+        // execution below is equivalent to one already explored from an
+        // earlier sibling.
+        std::uint64_t awake = live;
+        if (opts_.por) {
+          awake &= ~sleep.mask;
+          if (awake == 0) {
+            ++counters.sleep_pruned;
+            return;
+          }
+        }
+        candidates.clear();
+        for (std::uint64_t m = awake; m != 0; m &= m - 1) {
+          candidates.push_back(std::countr_zero(m));
+        }
+        if (opts_.persistent && candidates.size() > 1) {
+          counters.persistent_deferred +=
+              shrink_to_persistent(*inst.sys, pending_buf, candidates);
         }
       }
+      resumed = false;
 
+      const int pid = candidates.front();
+      const runtime::PendingOp op = inst.sys->pending(pid);
+      const std::uint64_t calls_before = inst.sys->calls_completed(pid);
+      inst.sys->step(pid);
+      const std::uint32_t taken = pack_sleep_op(
+          op, inst.sys->calls_completed(pid) > calls_before);
+
+      if (candidates.size() > 1) {
+        // Park the remaining siblings: whoever pops (or steals) the entry
+        // replays the prefix once and continues this node's sibling loop
+        // with z grown by the transition just taken.
+        FrontierEntry e;
+        e.prefix = prefix;
+        e.z = sleep;
+        if (opts_.por) e.z.add(pid, taken);
+        e.rest.assign(candidates.begin() + 1, candidates.end());
+        push_entry(wid, std::move(e));
+      }
+
+      // Sleepers stay asleep below the child only while independent of the
+      // transition just taken; dependent ones wake up.
+      if (opts_.por) sleep.wake_dependent(taken);
       prefix.push_back(pid);
-      dfs(std::move(child), prefix, std::move(child_sleep));
-      prefix.pop_back();
-      if (opts_.por) z.push_back(taken);
+      // Next iteration expands the child on the same live instance.
     }
+  }
+
+  void leaf(ExplorationInstance& inst, const runtime::Schedule& prefix) {
+    if (!claim_execution()) return;
+    if (auto violation = inst.check()) {
+      record_violation(*violation + " [schedule: " +
+                       runtime::schedule_to_string(prefix, 256) + "]");
+    }
+  }
+
+  void depth_violation(int wid, std::uint64_t live,
+                       const runtime::Schedule& prefix) {
+    std::vector<int> live_pids;
+    for (std::uint64_t m = live; m != 0; m &= m - 1) {
+      live_pids.push_back(std::countr_zero(m));
+    }
+    record_violation(
+        "max_depth " + std::to_string(opts_.max_depth) +
+        " reached with unfinished processes — non-terminating program? "
+        "[worker " + std::to_string(wid) + ", prefix " +
+        std::to_string(prefix.size()) +
+        "] [live pids: " + runtime::schedule_to_string(live_pids, 256) +
+        "] [schedule: " + runtime::schedule_to_string(prefix, 256) + "]");
+    depth_exceeded_.store(true, std::memory_order_relaxed);
+    request_stop();
+  }
+
+  /// Persistent-set heuristic: shrinks the candidate set to the smallest
+  /// closure of a single candidate under pending-op footprint conflicts and
+  /// returns how many candidates were deferred.
+  /// Candidates outside the closure never branch (and never replay) at this
+  /// node; they are deferred, not slept — their turn comes deeper in the
+  /// chosen subtree. Deterministic: seeds are tried in ascending pid order
+  /// and the first smallest closure wins.
+  std::uint64_t shrink_to_persistent(
+      runtime::ISystem& sys, std::vector<runtime::PendingOp>& pending_buf,
+      std::vector<int>& candidates) {
+    sys.pending_all(pending_buf);
+    std::uint64_t best = 0;
+    int best_count = std::numeric_limits<int>::max();
+    for (const int seed : candidates) {
+      std::uint64_t in = bit(seed);
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (const int q : candidates) {
+          if ((in & bit(q)) != 0) continue;
+          for (const int p : candidates) {
+            if ((in & bit(p)) == 0) continue;
+            if (footprint_conflict(
+                    pending_buf[static_cast<std::size_t>(q)],
+                    pending_buf[static_cast<std::size_t>(p)])) {
+              in |= bit(q);
+              grew = true;
+              break;
+            }
+          }
+        }
+      }
+      const int count = std::popcount(in);
+      if (count < best_count) {
+        best = in;
+        best_count = count;
+        if (best_count == 1) break;
+      }
+    }
+    if (best_count >= static_cast<int>(candidates.size())) return 0;
+    const std::uint64_t deferred =
+        candidates.size() - static_cast<std::size_t>(best_count);
+    std::erase_if(candidates,
+                  [best](int pid) { return (best & bit(pid)) == 0; });
+    return deferred;
   }
 
   const InstanceFactory& factory_;
   const ExploreOptions& opts_;
-  ExploreResult& result_;
+  bool parallel_ = false;
+
+  // Serial work list (LIFO — exact recursive-DFS order).
+  std::vector<FrontierEntry> stack_;
+
+  // Parallel mode: per-worker private stacks plus the shared deque fed by
+  // donation (see push_entry). `shared_size_` mirrors deque_.size() so the
+  // hot path can check for starvation without taking the lock.
+  struct WorkerState {
+    std::deque<FrontierEntry> local;
+  };
+  std::vector<WorkerState> workers_;
+  int num_workers_ = 1;
+  std::size_t donate_threshold_ = 1;
+  std::atomic<std::size_t> shared_size_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<FrontierEntry> deque_;
+  int idle_workers_ = 0;
+  std::exception_ptr first_error_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> budget_exhausted_{false};
+  std::atomic<bool> depth_exceeded_{false};
+  std::atomic<std::uint64_t> executions_{0};
+  std::atomic<std::uint64_t> nodes_{0};
+  std::atomic<std::uint64_t> sleep_pruned_{0};
+  std::atomic<std::uint64_t> persistent_deferred_{0};
+  std::atomic<std::uint64_t> max_depth_seen_{0};
+
+  std::mutex violations_mu_;
+  std::vector<std::string> violations_;
 };
 
 }  // namespace
 
 ExploreResult explore_all_executions(const InstanceFactory& factory,
                                      const ExploreOptions& opts) {
-  ExploreResult result;
-  Explorer explorer(factory, opts, result);
-  explorer.run();
-  return result;
+  Explorer explorer(factory, opts);
+  return explorer.run();
 }
 
 std::string strip_schedule_suffix(const std::string& violation) {
@@ -184,8 +570,11 @@ std::string strip_schedule_suffix(const std::string& violation) {
 PorCrossCheck crosscheck_por(const InstanceFactory& factory,
                              ExploreOptions opts) {
   PorCrossCheck cc;
-  opts.por = false;
-  cc.full = explore_all_executions(factory, opts);
+  ExploreOptions full = opts;
+  full.por = false;
+  full.persistent = false;
+  full.threads = 1;
+  cc.full = explore_all_executions(factory, full);
   opts.por = true;
   cc.reduced = explore_all_executions(factory, opts);
 

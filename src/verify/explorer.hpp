@@ -2,14 +2,30 @@
 //
 // Because processes are deterministic coroutines and a configuration is
 // reproducible from its schedule, the set of ALL executions of a small
-// system is a tree of schedules. This module enumerates that tree by DFS and
-// runs a caller-supplied check at every complete (maximal) execution —
-// e.g. "the timestamp property holds in every interleaving of Algorithm 4
-// with 2 processes", a statement no finite number of random schedules can
-// certify.
+// system is a tree of schedules. This module enumerates that tree and runs a
+// caller-supplied check at every complete (maximal) execution — e.g. "the
+// timestamp property holds in every interleaving of Algorithm 4 with 2
+// processes", a statement no finite number of random schedules can certify.
+//
+// The engine is a work-list DFS over frontier entries rather than a
+// recursion: at each node the first candidate child is explored *in place*
+// on the live instance (no replay), and the remaining siblings are parked on
+// a frontier deque as `(schedule prefix, sleep set, remaining candidates)`.
+// Whoever pops such an entry — the same worker backtracking, or a thief in
+// the parallel mode — reconstructs the node's configuration by one replay of
+// the prefix (configurations cannot be copied, only reconstructed), steps
+// the next sibling, parks the rest again, and descends in place. With one
+// worker this visits the exact same tree in the exact same order as the
+// classic recursive DFS (and tolerates max_depth-deep trees without
+// exhausting the C stack); with ExploreOptions::threads > 1 a fixed worker
+// pool drains the shared deque LIFO, stolen prefixes replay on the thief,
+// and the per-worker results merge into one deterministic ExploreResult —
+// node/execution/prune counts are set-derived, so a completed parallel
+// exploration reports exactly the serial counts, and violations are sorted
+// to erase scheduling nondeterminism.
 //
 // With ExploreOptions::por the DFS applies sleep-set partial-order reduction
-// (Godefr style): after a branch explores transition t from a node, its
+// (Godefroid style): after a branch explores transition t from a node, its
 // sibling branches put t to sleep and skip any node where every live process
 // is asleep — each pruned subtree contains only executions Mazurkiewicz-
 // equivalent (reorderings of adjacent independent steps) to ones already
@@ -23,12 +39,30 @@
 // of each execution. A sleeping process's pending op cannot change while it
 // sleeps (any write to a register it is about to access is dependent and
 // wakes it), which is the classic persistence argument that makes sleep sets
-// miss no violation.
+// miss no violation. Sleep sets are pid bitmasks (std::uint64_t, so n <= 64)
+// with one packed op word per sleeping pid — membership tests, candidate
+// filtering and copies are word operations, not vector scans.
+//
+// ExploreOptions::persistent layers a persistent-set heuristic on top: at
+// each branching node the candidate set shrinks to the smallest closure of
+// one candidate under pending-op register-footprint conflicts (same register
+// with at least one write). Sleep sets prune equivalent *subtrees after the
+// siblings branched*; the persistent set stops read-read-independent
+// siblings from branching at all, so their replays never happen. The
+// footprint closure is weaker than the sleep-set dependence in two ways: it
+// looks only at the *pending* ops, not at what a deferred process may access
+// later, and it cannot include the call-completion clause (whether a step
+// completes a method call is only observable by executing it), so it may
+// commute two call-completing steps and with them a happens-before pair.
+// Unlike the sleep sets it is therefore a reduction heuristic rather than a
+// theorem — crosscheck_por() remains the certification tool (it diffs
+// full-vs-reduced violation sets per instance), and the conformance suite
+// runs it per family.
 //
 // Known scope limit (inherited from the exploration tree itself, not
 // introduced by the reduction): each process's FIRST invocation stamp is
 // taken when its coroutine starts — at the root for a live instance, after
-// the prefix for a replayed sibling — so hb pairs involving a first
+// the prefix for a replayed entry — so hb pairs involving a first
 // invocation depend on the tree's replay structure, which differs between
 // the full and reduced trees (and between branches of the full tree). The
 // reduction is therefore exactly violation-preserving for checks derived
@@ -38,7 +72,7 @@
 // — it runs both trees and diffs the violation sets.
 //
 // The budget caps the raw tree. The per-node sibling cost is one replay of
-// the prefix (configurations cannot be copied, only reconstructed).
+// the prefix; the in-place first child costs none.
 #pragma once
 
 #include <cstdint>
@@ -59,11 +93,17 @@ struct ExplorationInstance {
   std::function<std::optional<std::string>()> check;
 };
 
-/// Creates fresh instances; called once per explored branch.
+/// Creates fresh instances; called once per explored branch. With
+/// ExploreOptions::threads > 1 the factory (and the checks of the instances
+/// it produces) is invoked concurrently from the worker pool and must be
+/// thread-safe; instances themselves are never shared between workers.
 using InstanceFactory = std::function<ExplorationInstance()>;
 
 struct ExploreOptions {
-  /// Stop after this many complete executions (0 = unlimited).
+  /// Stop after this many complete executions (0 = unlimited). Enforced
+  /// exactly in both serial and parallel mode (atomic budget), but which
+  /// executions land inside a binding budget is scheduling-dependent when
+  /// threads > 1.
   std::uint64_t max_executions = 1u << 20;
   /// Guard against non-terminating programs: a schedule prefix reaching this
   /// length with unfinished processes is recorded as a violation and the
@@ -73,6 +113,14 @@ struct ExploreOptions {
   /// Sleep-set + read-read-independence partial-order reduction (see file
   /// comment). Off by default: the full DFS remains the reference tree.
   bool por = false;
+  /// Persistent-set reduction layered on the sleep sets (see file comment);
+  /// requires `por`. Off by default — it is a footprint heuristic certified
+  /// per instance by crosscheck_por, not a standalone soundness theorem.
+  bool persistent = false;
+  /// Worker threads for the work-stealing parallel DFS. 1 (default) runs the
+  /// exact serial exploration on the calling thread; 0 = hardware
+  /// concurrency. See the file comment for the determinism guarantees.
+  int threads = 1;
 };
 
 struct ExploreResult {
@@ -82,12 +130,21 @@ struct ExploreResult {
   /// Nodes where every live process was asleep: the roots of the subtrees
   /// the sleep sets pruned (always 0 without ExploreOptions::por).
   std::uint64_t sleep_pruned = 0;
+  /// Candidate transitions the persistent sets deferred at branching nodes —
+  /// siblings that never branched, hence never replayed (0 unless
+  /// ExploreOptions::persistent).
+  std::uint64_t persistent_deferred = 0;
+  /// Worker threads the exploration actually used.
+  int workers = 1;
   bool budget_exhausted = false;
   /// A schedule prefix hit ExploreOptions::max_depth with live processes
   /// (non-terminating program?); a violation describing it was recorded and
   /// the exploration was cut short.
   bool depth_exceeded = false;
-  std::vector<std::string> violations;  ///< "<message> [schedule: ...]"
+  /// "<message> [schedule: ...]". Serial explorations report them in DFS
+  /// order; parallel explorations sort them so the merged result is
+  /// deterministic regardless of worker interleaving.
+  std::vector<std::string> violations;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };
@@ -106,8 +163,8 @@ ExploreResult explore_all_executions(const InstanceFactory& factory,
 /// Result of running the same factory through the full DFS and the
 /// POR-reduced DFS and diffing their canonical violation sets.
 struct PorCrossCheck {
-  ExploreResult full;     ///< opts with por = false
-  ExploreResult reduced;  ///< opts with por = true
+  ExploreResult full;     ///< serial reference: por/persistent off, threads=1
+  ExploreResult reduced;  ///< opts with por = true (persistent/threads kept)
   /// Canonical violations found by exactly one of the two trees. Both empty
   /// iff the reduction provably lost (and invented) nothing on this instance.
   std::vector<std::string> only_full;
@@ -118,10 +175,12 @@ struct PorCrossCheck {
   }
 };
 
-/// Cross-check mode: explores the factory twice (full, then POR) with the
-/// same budget and compares the violation sets modulo schedule suffix. Used
-/// by the tests that prove the reduced tree finds the same violations on
-/// seeded-buggy instances while visiting strictly fewer nodes.
+/// Cross-check mode: explores the factory twice — once as the serial full
+/// reference (por, persistent and threads all forced off) and once reduced
+/// (por forced on; the caller's persistent/threads honored) — with the same
+/// budget, and compares the violation sets modulo schedule suffix. Used by
+/// the tests that prove the reduced and/or parallel tree finds the same
+/// violations on seeded-buggy instances while visiting strictly fewer nodes.
 PorCrossCheck crosscheck_por(const InstanceFactory& factory,
                              ExploreOptions opts = {});
 

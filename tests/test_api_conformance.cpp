@@ -152,6 +152,75 @@ TEST_P(FamilyConformance, PorExplorerVisitsFewerNodesAndAgrees) {
   }
 }
 
+TEST_P(FamilyConformance, ParallelExplorerMatchesSerial) {
+  // The work-stealing parallel DFS must certify exactly the serial result on
+  // the n=2 model check of every family: same merged (empty) violation set,
+  // same execution and node counts. Run reduced (sleep + persistent sets) so
+  // even the record-register families' trees complete within the budget.
+  api::ScenarioSpec spec;
+  spec.n = 2;
+  spec.calls_per_process = 1;
+  verify::ExploreOptions opts;
+  opts.max_executions = 1u << 17;
+  opts.por = true;
+  opts.persistent = true;
+  const auto serial = api::Harness{}.run_scenario(
+      fam(), spec, api::exhaustive_explorer(opts));
+  spec.explore_threads = 4;  // surfaced through the spec, not the source
+  const auto parallel = api::Harness{}.run_scenario(
+      fam(), spec, api::exhaustive_explorer(opts));
+
+  EXPECT_TRUE(serial.ok()) << serial.summary();
+  EXPECT_TRUE(parallel.ok()) << parallel.summary();
+  EXPECT_FALSE(serial.budget_exhausted) << serial.summary();
+  EXPECT_FALSE(parallel.budget_exhausted) << parallel.summary();
+  EXPECT_EQ(serial.explore_workers, 1) << serial.summary();
+  EXPECT_EQ(parallel.explore_workers, 4) << parallel.summary();
+  EXPECT_EQ(parallel.executions, serial.executions)
+      << parallel.summary() << " vs " << serial.summary();
+  EXPECT_EQ(parallel.nodes, serial.nodes)
+      << parallel.summary() << " vs " << serial.summary();
+  EXPECT_EQ(parallel.sleep_pruned, serial.sleep_pruned);
+  EXPECT_EQ(parallel.persistent_deferred, serial.persistent_deferred);
+  EXPECT_EQ(parallel.violations, serial.violations);
+}
+
+TEST_P(FamilyConformance, PersistentSetsExploreNoMoreNodesAndAgree) {
+  // Layering persistent sets on the sleep sets must never grow the tree, and
+  // must certify the identical (empty) violation set. fetchadd serializes
+  // every step through its single counter register — all pending ops
+  // conflict, so the persistent closure is the full candidate set and the
+  // trees coincide; every other family must defer at least one branch.
+  api::ScenarioSpec spec;
+  spec.n = 2;
+  spec.calls_per_process = 1;
+  verify::ExploreOptions opts;
+  opts.max_executions = 1u << 17;
+  opts.por = true;
+  const auto sleep_only = api::Harness{}.run_scenario(
+      fam(), spec, api::exhaustive_explorer(opts));
+  opts.persistent = true;
+  const auto layered = api::Harness{}.run_scenario(
+      fam(), spec, api::exhaustive_explorer(opts));
+
+  EXPECT_TRUE(sleep_only.ok()) << sleep_only.summary();
+  EXPECT_TRUE(layered.ok()) << layered.summary();
+  EXPECT_FALSE(layered.budget_exhausted) << layered.summary();
+  EXPECT_EQ(layered.violations, sleep_only.violations);
+  EXPECT_LE(layered.nodes, sleep_only.nodes)
+      << layered.summary() << " vs " << sleep_only.summary();
+  EXPECT_LE(layered.executions, sleep_only.executions);
+  if (fam().name == "fetchadd") {
+    EXPECT_EQ(layered.nodes, sleep_only.nodes) << layered.summary();
+    EXPECT_EQ(layered.persistent_deferred, 0u) << layered.summary();
+  } else {
+    EXPECT_LT(layered.nodes, sleep_only.nodes)
+        << "persistent sets found no reduction: " << layered.summary()
+        << " vs " << sleep_only.summary();
+    EXPECT_GT(layered.persistent_deferred, 0u) << layered.summary();
+  }
+}
+
 TEST_P(FamilyConformance, ReplayFactoryIsDeterministic) {
   // The registry factory must clone configurations by replay: two systems
   // stepped through the same schedule report identical register files.

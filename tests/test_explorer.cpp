@@ -5,7 +5,10 @@
 // that random testing cannot certify.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/simple_oneshot.hpp"
 #include "core/sqrt_oneshot.hpp"
@@ -174,6 +177,12 @@ TEST(Explorer, DepthGuardStopsNonTerminatingPrograms) {
   ASSERT_EQ(result.violations.size(), 1u);
   EXPECT_NE(result.violations[0].find("max_depth 50"), std::string::npos)
       << result.violations[0];
+  // The message names the worker that hit the guard and the length of the
+  // prefix it owned — one line is enough to diagnose a hang even when the
+  // cutoff fires on a parallel exploration.
+  EXPECT_NE(result.violations[0].find("[worker 0, prefix 50]"),
+            std::string::npos)
+      << result.violations[0];
   // The message names the processes that were still live at the cutoff, not
   // just the schedule prefix.
   EXPECT_NE(result.violations[0].find("[live pids: 0]"), std::string::npos)
@@ -289,6 +298,168 @@ TEST(Por, StripScheduleSuffix) {
   EXPECT_EQ(verify::strip_schedule_suffix("boom [schedule: 0 1 1]"), "boom");
   EXPECT_EQ(verify::strip_schedule_suffix("no suffix here"),
             "no suffix here");
+}
+
+// -- persistent sets ---------------------------------------------------------
+
+TEST(Persistent, ReducesNodesBeyondSleepSetsAndStaysClean) {
+  // Sleep sets prune equivalent subtrees after the siblings branched; the
+  // persistent set stops read-read-independent siblings from branching at
+  // all. The layered reduction must certify the same (clean) verdict on
+  // strictly fewer nodes, and report the deferred branches.
+  verify::ExploreOptions opts;
+  opts.por = true;
+  const auto sleep_only = verify::explore_all_executions(
+      []() { return simple_instance(3); }, opts);
+  opts.persistent = true;
+  const auto layered = verify::explore_all_executions(
+      []() { return simple_instance(3); }, opts);
+  EXPECT_TRUE(sleep_only.ok());
+  EXPECT_TRUE(layered.ok()) << layered.violations.front();
+  EXPECT_LT(layered.nodes, sleep_only.nodes);
+  EXPECT_LE(layered.executions, sleep_only.executions);
+  EXPECT_GT(layered.persistent_deferred, 0u);
+  EXPECT_EQ(sleep_only.persistent_deferred, 0u);
+}
+
+TEST(Persistent, CrossCheckFindsIdenticalViolationSetOnSeededBuggyInstance) {
+  // Same certification bar as the sleep-set cross-check: the persistent-set
+  // tree must convict the seeded-buggy instance with the identical canonical
+  // violation set, on less work than the sleep-set-only tree.
+  verify::ExploreOptions opts;
+  opts.persistent = true;
+  const auto cc = verify::crosscheck_por(racy_increment_factory(), opts);
+  EXPECT_FALSE(cc.full.ok());
+  EXPECT_FALSE(cc.reduced.ok());
+  EXPECT_TRUE(cc.agree())
+      << "only_full=" << (cc.only_full.empty() ? "" : cc.only_full.front())
+      << " only_reduced="
+      << (cc.only_reduced.empty() ? "" : cc.only_reduced.front());
+  EXPECT_LT(cc.reduced.nodes, cc.full.nodes);
+  EXPECT_EQ(cc.full.executions, 6u);
+}
+
+TEST(Persistent, RequiresPor) {
+  verify::ExploreOptions opts;
+  opts.persistent = true;  // without por
+  EXPECT_THROW(verify::explore_all_executions(
+                   []() { return simple_instance(2); }, opts),
+               stamped::invariant_error);
+}
+
+// -- parallel work-stealing DFS ----------------------------------------------
+
+TEST(Parallel, MatchesSerialOnCleanFullTree) {
+  // The work-stealing exploration visits the same tree as the serial DFS:
+  // node, execution, prune and depth counters are set-derived, so a complete
+  // parallel run must report exactly the serial numbers.
+  const auto serial = verify::explore_all_executions(
+      []() { return simple_instance(3); });
+  verify::ExploreOptions opts;
+  opts.threads = 4;
+  const auto parallel = verify::explore_all_executions(
+      []() { return simple_instance(3); }, opts);
+  EXPECT_TRUE(serial.ok());
+  EXPECT_TRUE(parallel.ok()) << parallel.violations.front();
+  EXPECT_EQ(parallel.executions, serial.executions);
+  EXPECT_EQ(parallel.nodes, serial.nodes);
+  EXPECT_EQ(parallel.max_depth_seen, serial.max_depth_seen);
+  EXPECT_EQ(parallel.workers, 4);
+  EXPECT_EQ(serial.workers, 1);
+  EXPECT_FALSE(parallel.budget_exhausted);
+}
+
+TEST(Parallel, MatchesSerialUnderLayeredReduction) {
+  // Reduction decisions (sleep sets, persistent sets) are functions of the
+  // node alone, so the reduced tree is also identical under stealing.
+  verify::ExploreOptions opts;
+  opts.por = true;
+  opts.persistent = true;
+  const auto serial = verify::explore_all_executions(
+      []() { return sqrt_instance(2); }, opts);
+  opts.threads = 4;
+  const auto parallel = verify::explore_all_executions(
+      []() { return sqrt_instance(2); }, opts);
+  EXPECT_TRUE(serial.ok());
+  EXPECT_TRUE(parallel.ok()) << parallel.violations.front();
+  EXPECT_EQ(parallel.executions, serial.executions);
+  EXPECT_EQ(parallel.nodes, serial.nodes);
+  EXPECT_EQ(parallel.sleep_pruned, serial.sleep_pruned);
+  EXPECT_EQ(parallel.persistent_deferred, serial.persistent_deferred);
+}
+
+TEST(Parallel, FindsInjectedViolationSetEqualToSerial) {
+  // Violation MERGE determinism: the parallel run reports its violations
+  // sorted; the serial run reports DFS order. As sets they must coincide.
+  const auto serial =
+      verify::explore_all_executions(racy_increment_factory());
+  verify::ExploreOptions opts;
+  opts.threads = 4;
+  const auto parallel =
+      verify::explore_all_executions(racy_increment_factory(), opts);
+  EXPECT_FALSE(serial.ok());
+  EXPECT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.executions, serial.executions);
+  EXPECT_EQ(parallel.nodes, serial.nodes);
+  std::vector<std::string> serial_sorted = serial.violations;
+  std::sort(serial_sorted.begin(), serial_sorted.end());
+  EXPECT_EQ(parallel.violations, serial_sorted);
+}
+
+TEST(Parallel, RespectsExecutionBudgetExactly) {
+  // The budget is an atomic claim: the merged execution count lands exactly
+  // on the cap even with four workers racing for the last claims.
+  verify::ExploreOptions opts;
+  opts.max_executions = 500;
+  opts.threads = 4;
+  const auto result = verify::explore_all_executions(
+      []() { return simple_instance(3); }, opts);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_EQ(result.executions, 500u);
+}
+
+TEST(Parallel, DepthGuardStopsAllWorkersAndNamesOne) {
+  auto factory = []() {
+    std::vector<BrokenSys::Program> programs;
+    programs.push_back(
+        [](BrokenSys::Ctx& ctx) { return endless_writer_program(ctx); });
+    verify::ExplorationInstance inst;
+    inst.sys =
+        std::make_unique<BrokenSys>(1, std::int64_t{0}, std::move(programs));
+    inst.check = []() -> std::optional<std::string> { return std::nullopt; };
+    return inst;
+  };
+  verify::ExploreOptions opts;
+  opts.max_depth = 64;
+  opts.threads = 4;
+  const auto result = verify::explore_all_executions(factory, opts);
+  EXPECT_TRUE(result.depth_exceeded);
+  ASSERT_GE(result.violations.size(), 1u);
+  EXPECT_NE(result.violations[0].find("max_depth 64"), std::string::npos)
+      << result.violations[0];
+  EXPECT_NE(result.violations[0].find("[worker "), std::string::npos)
+      << result.violations[0];
+  EXPECT_NE(result.violations[0].find("prefix 64"), std::string::npos)
+      << result.violations[0];
+}
+
+TEST(Parallel, CrossCheckSerialFullVersusParallelReduced) {
+  // The acceptance-grade cross-check: the serial full DFS as the reference
+  // tree against the parallel, sleep+persistent-reduced tree — identical
+  // canonical violation sets on a seeded-buggy instance.
+  verify::ExploreOptions opts;
+  opts.persistent = true;
+  opts.threads = 4;
+  const auto cc = verify::crosscheck_por(racy_increment_factory(), opts);
+  EXPECT_FALSE(cc.full.ok());
+  EXPECT_FALSE(cc.reduced.ok());
+  EXPECT_TRUE(cc.agree())
+      << "only_full=" << (cc.only_full.empty() ? "" : cc.only_full.front())
+      << " only_reduced="
+      << (cc.only_reduced.empty() ? "" : cc.only_reduced.front());
+  EXPECT_EQ(cc.full.workers, 1);
+  EXPECT_EQ(cc.reduced.workers, 4);
+  EXPECT_LT(cc.reduced.nodes, cc.full.nodes);
 }
 
 }  // namespace
