@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "runtime/scheduler.hpp"
+#include "verify/coverage.hpp"
 #include "verify/hb_checker.hpp"
 
 namespace stamped::api {
@@ -77,6 +78,115 @@ void apply_checkers(const GenericCallLog& log, const Checkers& checkers,
         records, OpaqueCompare{}, pair_filter);
     rep.violations.insert(rep.violations.end(), r.violations.begin(),
                           r.violations.end());
+  }
+}
+
+/// Builds the explorer's instance factory for a family/spec: each instance
+/// is a fresh system whose check applies the harness checkers to the typed
+/// history and folds registers_written into the shared accumulator. Captures
+/// family/spec/checkers by reference — callers must keep them alive for the
+/// duration of the exploration (run_scenario and crosscheck_por do).
+verify::InstanceFactory make_explore_factory(
+    const TimestampFamily& family, const ScenarioSpec& spec,
+    const Checkers& checkers,
+    std::shared_ptr<std::atomic<int>> worst_written) {
+  return [&family, &spec, &checkers, worst_written]() {
+    std::shared_ptr<FamilyInstance> inst{family.make(spec)};
+    verify::ExplorationInstance e;
+    e.sys = inst->take_system();
+    runtime::ISystem* raw = e.sys.get();
+    e.check = [inst, raw, &checkers,
+               worst_written]() -> std::optional<std::string> {
+      const int written = raw->registers_written();
+      int cur = worst_written->load(std::memory_order_relaxed);
+      while (written > cur &&
+             !worst_written->compare_exchange_weak(
+                 cur, written, std::memory_order_relaxed)) {
+      }
+      ScenarioReport branch;
+      apply_checkers(inst->calls(), checkers, branch);
+      if (!branch.violations.empty()) return branch.violations.front();
+      return std::nullopt;
+    };
+    return e;
+  };
+}
+
+/// Sums family metrics across the fuzzer's executions, keyed by name.
+void accumulate_metrics(Metrics& into, const Metrics& add) {
+  for (const auto& [key, value] : add) {
+    const auto it =
+        std::find_if(into.begin(), into.end(),
+                     [&key](const auto& kv) { return kv.first == key; });
+    if (it == into.end()) {
+      into.emplace_back(key, value);
+    } else {
+      it->second += value;
+    }
+  }
+}
+
+/// One mutation of a corpus schedule: splice two parents, shift a block
+/// (manufactures solo bursts), transpose two steps, truncate (the dropped
+/// tail re-randomizes during repair), or insert a solo burst (one process
+/// runs 4..19 consecutive steps — adjacencies a uniform random schedule
+/// almost never produces). All draws come from the fuzzer's master rng, so
+/// the search is deterministic.
+runtime::Schedule mutate_schedule(const std::vector<runtime::Schedule>& corpus,
+                                  int num_processes, util::Rng& rng) {
+  const runtime::Schedule& a = corpus[static_cast<std::size_t>(
+      rng.next_below(corpus.size()))];
+  runtime::Schedule out;
+  switch (rng.next_below(5)) {
+    case 0: {  // splice: prefix of one parent + suffix of another
+      const runtime::Schedule& b = corpus[static_cast<std::size_t>(
+          rng.next_below(corpus.size()))];
+      const auto ca = static_cast<std::ptrdiff_t>(
+          rng.next_below(a.size() + 1));
+      const auto cb = static_cast<std::ptrdiff_t>(
+          rng.next_below(b.size() + 1));
+      out.assign(a.begin(), a.begin() + ca);
+      out.insert(out.end(), b.begin() + cb, b.end());
+      return out;
+    }
+    case 1: {  // shift a short block elsewhere
+      out = a;
+      if (out.size() < 2) return out;
+      const auto i = static_cast<std::ptrdiff_t>(
+          rng.next_below(out.size()));
+      const auto len = static_cast<std::ptrdiff_t>(
+          1 + rng.next_below(std::min<std::uint64_t>(
+                  8, out.size() - static_cast<std::size_t>(i))));
+      const std::vector<int> block(out.begin() + i, out.begin() + i + len);
+      out.erase(out.begin() + i, out.begin() + i + len);
+      const auto j = static_cast<std::ptrdiff_t>(
+          rng.next_below(out.size() + 1));
+      out.insert(out.begin() + j, block.begin(), block.end());
+      return out;
+    }
+    case 2: {  // transpose two steps
+      out = a;
+      if (out.size() < 2) return out;
+      const auto i = static_cast<std::size_t>(rng.next_below(out.size()));
+      const auto j = static_cast<std::size_t>(rng.next_below(out.size()));
+      std::swap(out[i], out[j]);
+      return out;
+    }
+    case 3: {  // insert a solo burst
+      out = a;
+      const int pid = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(num_processes)));
+      const auto len = 4 + rng.next_below(16);
+      const auto j = static_cast<std::ptrdiff_t>(
+          rng.next_below(out.size() + 1));
+      out.insert(out.begin() + j, static_cast<std::size_t>(len), pid);
+      return out;
+    }
+    default: {  // truncate
+      out.assign(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(
+                                            rng.next_below(a.size() + 1)));
+      return out;
+    }
   }
 }
 
@@ -169,6 +279,43 @@ ScheduleSource exhaustive_explorer(verify::ExploreOptions opts) {
   return src;
 }
 
+ScheduleSource crash_restart(runtime::CrashPlan plan) {
+  STAMPED_ASSERT(plan.crashes >= 0);
+  STAMPED_ASSERT(plan.min_victim_steps <= plan.max_victim_steps);
+  ScheduleSource src;
+  src.name = plan.restart ? "crash-restart" : "crash";
+  src.kind = ScheduleSource::Kind::kCrash;
+  src.crash = plan;
+  return src;
+}
+
+ScheduleSource jittered(runtime::JitterSpec spec) {
+  STAMPED_ASSERT(spec.stall_period >= 1);
+  STAMPED_ASSERT(spec.max_stall >= 1);
+  ScheduleSource src;
+  src.name = "jitter";
+  src.kind = ScheduleSource::Kind::kJitter;
+  src.jitter = spec;
+  return src;
+}
+
+ScheduleSource coverage_fuzzer(std::uint64_t seed, std::uint64_t budget) {
+  FuzzOptions opts;
+  opts.seed = seed;
+  opts.budget = budget;
+  return coverage_fuzzer(opts);
+}
+
+ScheduleSource coverage_fuzzer(FuzzOptions opts) {
+  STAMPED_ASSERT(opts.budget >= 1);
+  STAMPED_ASSERT(opts.max_corpus >= 1);
+  ScheduleSource src;
+  src.name = "fuzzer";
+  src.kind = ScheduleSource::Kind::kFuzzer;
+  src.fuzz = opts;
+  return src;
+}
+
 std::string ScenarioReport::summary() const {
   std::ostringstream os;
   os << family << " x " << schedule << " (n=" << spec.n << ", calls="
@@ -187,6 +334,15 @@ std::string ScenarioReport::summary() const {
   }
   os << "ordered=" << ordered_pairs << " concurrent=" << concurrent_pairs
      << " filtered=" << filtered_pairs;
+  if (crashes > 0 || crashed_down > 0) {
+    os << " crashes=" << crashes << " restarts=" << restarts << " down="
+       << crashed_down << " survivors_finished=" << survivors_finished;
+  }
+  if (stalls > 0) os << " stalls=" << stalls << " ticks=" << ticks;
+  if (coverage_signatures > 0) {
+    os << " signatures=" << coverage_signatures << " corpus=" << corpus_size
+       << " executions=" << executions;
+  }
   for (const auto& [key, value] : metrics) os << ' ' << key << '=' << value;
   os << (ok() ? " OK" : " VIOLATED");
   for (const auto& v : violations) os << "\n  " << v;
@@ -221,27 +377,8 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
     // accumulator is shared across the whole exploration — atomic, because
     // the parallel DFS runs checks from several workers at once.
     auto worst_written = std::make_shared<std::atomic<int>>(0);
-    const verify::InstanceFactory factory = [&family, &spec, &checkers,
-                                             worst_written]() {
-      std::shared_ptr<FamilyInstance> inst{family.make(spec)};
-      verify::ExplorationInstance e;
-      e.sys = inst->take_system();
-      runtime::ISystem* raw = e.sys.get();
-      e.check = [inst, raw, &checkers,
-                 worst_written]() -> std::optional<std::string> {
-        const int written = raw->registers_written();
-        int cur = worst_written->load(std::memory_order_relaxed);
-        while (written > cur &&
-               !worst_written->compare_exchange_weak(
-                   cur, written, std::memory_order_relaxed)) {
-        }
-        ScenarioReport branch;
-        apply_checkers(inst->calls(), checkers, branch);
-        if (!branch.violations.empty()) return branch.violations.front();
-        return std::nullopt;
-      };
-      return e;
-    };
+    const verify::InstanceFactory factory =
+        make_explore_factory(family, spec, checkers, worst_written);
     const auto result = verify::explore_all_executions(factory, opts);
     rep.executions = result.executions;
     rep.nodes = result.nodes;
@@ -255,15 +392,127 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
     return rep;
   }
 
-  STAMPED_ASSERT_MSG(source.drive != nullptr,
-                     "schedule source '" << source.name << "' has no driver");
+  if (source.kind == ScheduleSource::Kind::kFuzzer) {
+    // Signatures come from the step-info log, which kCountsOnly discards.
+    STAMPED_ASSERT_MSG(spec.recording == runtime::RecordingMode::kFull,
+                       "the coverage fuzzer requires "
+                       "ScenarioSpec::recording == kFull");
+    util::Rng rng(spec.seed ^
+                  (source.fuzz.seed * 0x9e3779b97f4a7c15ULL));
+    verify::CoverageMap cov;
+    std::vector<runtime::Schedule> corpus;
+    bool all_finished = true;
+    // Execution length of the seeding run, used to size the two structured
+    // seed guides below; `dry` counts consecutive executions that reached no
+    // fresh coverage.
+    std::uint64_t seed_len = 0;
+    std::uint64_t dry = 0;
+    for (std::uint64_t e = 0; e < source.fuzz.budget; ++e) {
+      // Guide for this execution. Execution 0 is pure random (seeds the
+      // corpus and measures the execution length); executions 1 and 2 are
+      // the structured extremes — fully sequential and strict round-robin —
+      // whose call-boundary adjacencies a uniform random schedule reaches
+      // only with vanishing probability; the rest replay mutated corpus
+      // parents, except that after `kDrySpell` consecutive executions with
+      // no fresh coverage the next shot is pure random again (mutants of a
+      // saturated corpus re-tread known territory; a fresh execution is the
+      // cheaper probe). Oversized guides are harmless: replay skips
+      // finished pids.
+      constexpr std::uint64_t kDrySpell = 3;
+      runtime::Schedule guide;
+      if (e == 1 && seed_len > 0) {
+        for (int p = 0; p < spec.n; ++p) {
+          guide.insert(guide.end(), seed_len, p);
+        }
+      } else if (e == 2 && seed_len > 0) {
+        for (std::uint64_t r = 0; r < seed_len; ++r) {
+          for (int p = 0; p < spec.n; ++p) guide.push_back(p);
+        }
+      } else if (!corpus.empty() && e > 0 && dry < kDrySpell) {
+        guide = mutate_schedule(corpus, spec.n, rng);
+      } else {
+        dry = 0;  // spend this execution on a pure random probe
+      }
+      auto inst = family.make(spec);
+      runtime::ISystem& sys = inst->system();
+      // Replay the guide with repair — steps naming finished processes are
+      // skipped (mutation can overrun a pid's program) — then complete the
+      // execution under the same seeded random stream.
+      std::uint64_t steps = 0;
+      for (int pid : guide) {
+        if (steps >= max_steps_) break;
+        if (pid < 0 || pid >= sys.num_processes() || sys.finished(pid)) {
+          continue;
+        }
+        sys.step(pid);
+        ++steps;
+      }
+      runtime::run_random(sys, rng, max_steps_ - steps);
+      runtime::check_no_failures(sys);
+      if (e == 0) seed_len = sys.steps_taken();
+      all_finished = all_finished && sys.all_finished();
+      const std::size_t fresh = cov.add_execution(sys.step_infos());
+      rep.steps += sys.steps_taken();
+      rep.calls += sys.calls_completed_total();
+      rep.registers_written =
+          std::max(rep.registers_written, sys.registers_written());
+      accumulate_metrics(rep.metrics, inst->metrics());
+      if (checkers.timestamp_property || checkers.per_process_monotonicity) {
+        apply_checkers(inst->calls(), checkers, rep);
+      }
+      dry = fresh > 0 ? 0 : dry + 1;
+      // Schedules that reached unvisited signatures become mutation parents.
+      if (fresh > 0) {
+        corpus.push_back(sys.executed_schedule());
+        if (corpus.size() > source.fuzz.max_corpus) {
+          corpus.erase(corpus.begin());
+        }
+      }
+    }
+    rep.executions = source.fuzz.budget;
+    rep.all_finished = all_finished;
+    rep.survivors_finished = all_finished;
+    rep.coverage_signatures = cov.size();
+    rep.corpus_size = corpus.size();
+    return rep;
+  }
+
   auto inst = family.make(spec);
   runtime::ISystem& sys = inst->system();
   if (spec.recording != runtime::RecordingMode::kFull) {
     sys.set_recording_mode(spec.recording);
   }
   util::Rng rng(spec.seed);
-  source.drive(sys, rng, max_steps_);
+  switch (source.kind) {
+    case ScheduleSource::Kind::kDriver: {
+      STAMPED_ASSERT_MSG(source.drive != nullptr,
+                         "schedule source '" << source.name
+                                             << "' has no driver");
+      source.drive(sys, rng, max_steps_);
+      rep.survivors_finished = sys.all_finished();
+      break;
+    }
+    case ScheduleSource::Kind::kCrash: {
+      const runtime::CrashStats st =
+          runtime::run_crash_restart(sys, rng, source.crash, max_steps_);
+      rep.crashes = st.crashes;
+      rep.restarts = st.restarts;
+      rep.crashed_down = st.crashed_down;
+      rep.survivors_finished = st.survivors_finished;
+      break;
+    }
+    case ScheduleSource::Kind::kJitter: {
+      const runtime::JitterStats st =
+          runtime::run_jittered(sys, rng, source.jitter, max_steps_);
+      rep.stalls = st.stalls;
+      rep.ticks = st.ticks;
+      rep.survivors_finished = sys.all_finished();
+      break;
+    }
+    case ScheduleSource::Kind::kExhaustive:
+    case ScheduleSource::Kind::kFuzzer:
+      STAMPED_ASSERT(false);  // handled above
+  }
   runtime::check_no_failures(sys);
 
   rep.all_finished = sys.all_finished();
@@ -277,6 +526,31 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
     apply_checkers(inst->calls(), checkers, rep);
   }
   return rep;
+}
+
+verify::PorCrossCheck Harness::crosscheck_por(const TimestampFamily& family,
+                                              const ScenarioSpec& spec,
+                                              const ScheduleSource& source,
+                                              const Checkers& checkers) const {
+  STAMPED_ASSERT_MSG(
+      source.kind == ScheduleSource::Kind::kExhaustive,
+      "crosscheck_por certifies the exhaustive exploration tree; schedule "
+      "source '" << source.name << "' is not exhaustive — run it through "
+      "run_scenario instead of pretending a cross-check passed");
+  STAMPED_ASSERT_MSG(family.supports(spec),
+                     "family '" << family.name
+                                << "' does not support this scenario (n="
+                                << spec.n << ", calls_per_process="
+                                << spec.calls_per_process << ")");
+  STAMPED_ASSERT_MSG(spec.recording == runtime::RecordingMode::kFull,
+                     "the exhaustive explorer requires "
+                     "ScenarioSpec::recording == kFull");
+  verify::ExploreOptions opts = source.explore;
+  if (spec.explore_threads > 0) opts.threads = spec.explore_threads;
+  auto worst_written = std::make_shared<std::atomic<int>>(0);
+  const verify::InstanceFactory factory =
+      make_explore_factory(family, spec, checkers, worst_written);
+  return verify::crosscheck_por(factory, opts);
 }
 
 std::string SweepReport::summary() const {

@@ -26,22 +26,42 @@
 
 namespace stamped::api {
 
+/// Budget and seed of the coverage-guided schedule fuzzer (coverage_fuzzer).
+struct FuzzOptions {
+  /// Seed of the mutation stream, combined with ScenarioSpec::seed so the
+  /// same source can drive distinct sweeps.
+  std::uint64_t seed = 0;
+  /// Executions to run. Every execution costs one fresh instance.
+  std::uint64_t budget = 64;
+  /// Schedules retained as mutation parents (oldest evicted beyond this).
+  std::size_t max_corpus = 64;
+};
+
 /// One way of driving a scenario to completion.
 struct ScheduleSource {
   enum class Kind : std::uint8_t {
     kDriver,      ///< steps one live system via `drive`
     kExhaustive,  ///< enumerates all executions via the explorer
+    kCrash,       ///< crash/restart adversary (runtime::run_crash_restart)
+    kJitter,      ///< seeded stall windows (runtime::run_jittered)
+    kFuzzer,      ///< coverage-guided schedule search (verify::CoverageMap)
   };
 
   std::string name;
   Kind kind = Kind::kDriver;
   /// Steps `sys` until done (or `max_steps`); `rng` is seeded from the
-  /// ScenarioSpec. Unused for kExhaustive.
+  /// ScenarioSpec. Used by kDriver only.
   std::function<void(runtime::ISystem& sys, util::Rng& rng,
                      std::uint64_t max_steps)>
       drive;
   /// Exploration budget for kExhaustive.
   verify::ExploreOptions explore{};
+  /// Crash schedule for kCrash.
+  runtime::CrashPlan crash{};
+  /// Stall distribution for kJitter.
+  runtime::JitterSpec jitter{};
+  /// Search budget for kFuzzer.
+  FuzzOptions fuzz{};
 };
 
 /// Fair round-robin over unfinished processes.
@@ -60,6 +80,29 @@ struct ScheduleSource {
 /// Exhaustive exploration of every interleaving (small systems only).
 [[nodiscard]] ScheduleSource exhaustive_explorer(
     verify::ExploreOptions opts = {});
+/// Crash/restart adversary: kills processes mid-call per `plan` under a
+/// seeded random schedule, optionally restarting them with fresh local
+/// state. Crashed-and-down processes never step again, so their calls never
+/// complete and never enter the history — the checkers hold survivors to the
+/// wait-free obligation and crashed calls to none, per the paper's model.
+[[nodiscard]] ScheduleSource crash_restart(runtime::CrashPlan plan = {});
+/// Deterministic jitter: a seeded random schedule with per-process stall
+/// windows (runtime::run_jittered). Same spec + seed => byte-identical
+/// ScenarioReport.
+[[nodiscard]] ScheduleSource jittered(runtime::JitterSpec spec = {});
+/// Coverage-guided schedule fuzzer: runs `budget` executions — one random
+/// seed, the two structured extremes (sequential, strict round-robin), then
+/// mutated corpus parents (splice/shift/swap/solo-burst/truncate) — steering
+/// toward unvisited op-pair
+/// interleaving signatures (verify::CoverageMap); every execution is checked
+/// and coverage is reported in the ScenarioReport. Sits between the random
+/// sweeps and the exhaustive explorer: guided breadth without tree
+/// enumeration. Requires ScenarioSpec::recording == kFull (signatures come
+/// from the step-info log).
+[[nodiscard]] ScheduleSource coverage_fuzzer(std::uint64_t seed,
+                                             std::uint64_t budget);
+/// As above with full control of the search parameters.
+[[nodiscard]] ScheduleSource coverage_fuzzer(FuzzOptions opts);
 
 /// Which history checks run_scenario applies to the recorded calls.
 struct Checkers {
@@ -86,7 +129,28 @@ struct ScenarioReport {
   std::size_t concurrent_pairs = 0;
   std::size_t filtered_pairs = 0;
 
-  /// kExhaustive only: complete executions checked / budget flag.
+  /// kCrash only: crash events that fired / victims restarted / processes
+  /// still down at the end. A run with crashed_down > 0 legitimately has
+  /// all_finished == false; survivors_finished is the wait-freedom verdict
+  /// (every never-crashed or restarted process completed its program).
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t crashed_down = 0;
+  bool survivors_finished = false;
+
+  /// kJitter only: stall windows injected / scheduler ticks elapsed
+  /// (ticks >= steps; the surplus is time where every live process stalled).
+  std::uint64_t stalls = 0;
+  std::uint64_t ticks = 0;
+
+  /// kFuzzer only: distinct op-pair interleaving signatures reached and
+  /// schedules retained as mutation parents. steps/calls/violations
+  /// aggregate over all executions; registers_written is the worst case.
+  std::uint64_t coverage_signatures = 0;
+  std::uint64_t corpus_size = 0;
+
+  /// kExhaustive/kFuzzer: complete executions checked; budget flag is
+  /// kExhaustive only.
   std::uint64_t executions = 0;
   bool budget_exhausted = false;
 
@@ -146,6 +210,15 @@ class Harness {
       const TimestampFamily& family, const std::vector<ScenarioSpec>& grid,
       const ScheduleSource& source, const Checkers& checkers = {},
       unsigned workers = 0) const;
+
+  /// Runs verify::crosscheck_por on `family`'s instances (full DFS vs the
+  /// POR-reduced DFS, violation sets diffed). The cross-check certifies the
+  /// exhaustive tree and nothing else: handing it an adversarial source
+  /// (crash, jitter, fuzzer, any driver) is a category error and throws
+  /// invariant_error loudly instead of "passing" a check that never ran.
+  [[nodiscard]] verify::PorCrossCheck crosscheck_por(
+      const TimestampFamily& family, const ScenarioSpec& spec,
+      const ScheduleSource& source, const Checkers& checkers = {}) const;
 
  private:
   std::uint64_t max_steps_ = std::uint64_t{1} << 32;

@@ -139,6 +139,21 @@ class ISystem {
     return writes_to(reg);
   }
 
+  /// True if this system can restart a crashed process (System<V> can; the
+  /// crash/restart adversary requires it before calling restart_process).
+  [[nodiscard]] virtual bool supports_restart() const { return false; }
+
+  /// Crash recovery: destroys process pid's local state — its coroutine
+  /// frame, including any pending-but-unexecuted operation — and restarts
+  /// its program from the beginning. Shared memory (registers, write
+  /// counts), the global trace and the process's step/call counters all
+  /// survive: a crash loses exactly the process-local state, matching the
+  /// model's notion that registers are the only persistent objects.
+  virtual void restart_process(int pid) {
+    STAMPED_ASSERT_MSG(false, "this ISystem implementation cannot restart "
+                              "process " << pid);
+  }
+
   /// Recording mode (see RecordingMode). The base implementation is the
   /// always-full default for exotic ISystem implementations; System<V>
   /// overrides both.

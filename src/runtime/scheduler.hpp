@@ -69,6 +69,72 @@ bool run_solo_until(ISystem& sys, int pid,
                     const std::function<bool(ISystem&)>& predicate,
                     std::uint64_t max_steps);
 
+/// Parameters of the crash/restart adversary (run_crash_restart): how many
+/// crash events to inject, whether victims recover, and when.
+struct CrashPlan {
+  /// Crash events to attempt. Events are drawn one at a time: a random
+  /// victim plus a threshold of additional own-steps after which it dies
+  /// mid-call. An event whose victim finishes first is dropped (wait-freedom
+  /// can beat the adversary), so CrashStats::crashes may be smaller.
+  int crashes = 1;
+  /// Recover each victim after `restart_delay` scheduler ticks with fresh
+  /// local state (ISystem::restart_process — requires supports_restart()).
+  /// When false, victims simply never take another step.
+  bool restart = false;
+  /// A victim dies after [min_victim_steps, max_victim_steps] further steps
+  /// of its own (uniform, seeded) — mid-call for any multi-step algorithm.
+  std::uint64_t min_victim_steps = 1;
+  std::uint64_t max_victim_steps = 24;
+  /// Scheduler ticks a crashed victim stays down before restarting.
+  std::uint64_t restart_delay = 8;
+};
+
+/// Outcome of one crash/restart run.
+struct CrashStats {
+  std::uint64_t crashes = 0;   ///< crash events that actually fired
+  std::uint64_t restarts = 0;  ///< victims recovered with fresh local state
+  std::uint64_t steps = 0;     ///< shared-memory steps executed
+  std::uint64_t crashed_down = 0;  ///< processes still crashed at the end
+  /// Every process that was never crashed, or was restarted, finished its
+  /// program — the wait-freedom obligation under this adversary.
+  bool survivors_finished = false;
+};
+
+/// The crash/restart adversary: drives `sys` under a seeded random schedule
+/// while killing processes mid-call per `plan` (and, optionally, restarting
+/// them with fresh local state). Crashed processes are never scheduled while
+/// down, so their pending ops stay poised forever — exactly a crashed
+/// process of the paper's model, which may cover registers but never writes
+/// again. Deterministic given (sys state, rng state, plan).
+CrashStats run_crash_restart(ISystem& sys, util::Rng& rng,
+                             const CrashPlan& plan, std::uint64_t max_steps);
+
+/// Parameters of the deterministic jitter/stall driver (run_jittered).
+struct JitterSpec {
+  /// After each of its steps, a process stalls with probability
+  /// 1/stall_period (seeded Bernoulli; must be >= 1; 1 = stall after every
+  /// step).
+  std::uint64_t stall_period = 8;
+  /// A stall lasts [1, max_stall] scheduler ticks (uniform, seeded).
+  std::uint64_t max_stall = 24;
+};
+
+/// Outcome of one jittered run.
+struct JitterStats {
+  std::uint64_t steps = 0;   ///< shared-memory steps executed
+  std::uint64_t stalls = 0;  ///< stall windows injected
+  std::uint64_t ticks = 0;   ///< scheduler ticks (>= steps; idle ticks stall)
+};
+
+/// The jitter adversary: a seeded random schedule where processes fall into
+/// stall windows — ticks during which they are never scheduled — modeling
+/// preemption/jitter. When every live process is stalled the tick clock
+/// advances without a step (time passes, nobody runs). Stalls only reorder
+/// steps, so any property that holds under every schedule is preserved;
+/// deterministic given (sys state, rng state, spec).
+JitterStats run_jittered(ISystem& sys, util::Rng& rng, const JitterSpec& spec,
+                         std::uint64_t max_steps);
+
 /// Builds sigma(C0): fresh system from `factory`, stepped through `schedule`.
 std::unique_ptr<ISystem> replay(const SystemFactory& factory,
                                 std::span<const int> schedule);

@@ -178,10 +178,11 @@ class System final : public ISystem {
       : initial_(initial),
         registers_(static_cast<std::size_t>(num_registers), initial),
         write_counts_(static_cast<std::size_t>(num_registers), 0),
+        programs_(std::move(programs)),
         recording_(mode) {
     STAMPED_ASSERT(num_registers > 0);
-    STAMPED_ASSERT(!programs.empty());
-    const int n = static_cast<int>(programs.size());
+    STAMPED_ASSERT(!programs_.empty());
+    const int n = static_cast<int>(programs_.size());
     slots_.resize(static_cast<std::size_t>(n));
     views_.resize(static_cast<std::size_t>(n));
     steps_by_pid_.resize(static_cast<std::size_t>(n), 0);
@@ -190,7 +191,7 @@ class System final : public ISystem {
     tasks_.reserve(static_cast<std::size_t>(n));
     for (int p = 0; p < n; ++p) {
       ctxs_.push_back(std::unique_ptr<Ctx>(new Ctx(this, p)));
-      tasks_.push_back(programs[static_cast<std::size_t>(p)](*ctxs_.back()));
+      tasks_.push_back(programs_[static_cast<std::size_t>(p)](*ctxs_.back()));
       STAMPED_ASSERT(tasks_.back().valid());
     }
   }
@@ -373,6 +374,34 @@ class System final : public ISystem {
     }
   }
 
+  // ---- crash recovery -----------------------------------------------------
+
+  [[nodiscard]] bool supports_restart() const override { return true; }
+
+  /// See ISystem::restart_process. The old coroutine frame is destroyed
+  /// (running the destructors of its locals, which tears down any nested
+  /// SubTask frames), so a pending-but-unexecuted op vanishes with the local
+  /// state; a fresh frame is created from the stored program. The process's
+  /// step and completed-call counters persist — completed calls completed,
+  /// and wait-freedom accounting charges the process for the steps its
+  /// crashed incarnation took.
+  void restart_process(int pid) override {
+    STAMPED_ASSERT_MSG(pid >= 0 && pid < num_processes(), "bad pid " << pid);
+    Slot& s = slots_[idx(pid)];
+    // The slot's resume point targets the frame being destroyed; drop the
+    // handle without resuming or destroying it separately.
+    s.kind = OpKind::kNone;
+    s.reg = -1;
+    s.to_write = V{};
+    s.result = V{};
+    s.result_version = 0;
+    s.resume_point = {};
+    tasks_[idx(pid)] = programs_[idx(pid)](*ctxs_[idx(pid)]);
+    STAMPED_ASSERT(tasks_[idx(pid)].valid());
+    if (started_.size() > idx(pid)) started_[idx(pid)] = false;
+    if (recording_ == RecordingMode::kFull) append_view(pid, "RESTART");
+  }
+
   // ---- recording mode -----------------------------------------------------
 
   [[nodiscard]] RecordingMode recording_mode() const override {
@@ -545,6 +574,9 @@ class System final : public ISystem {
   V initial_;
   std::vector<V> registers_;
   std::vector<std::uint64_t> write_counts_;
+  /// Retained past construction so restart_process can recreate a crashed
+  /// process's coroutine (programs must be re-invocable).
+  std::vector<Program> programs_;
   std::vector<std::unique_ptr<Ctx>> ctxs_;
   std::vector<ProcessTask> tasks_;
   std::vector<Slot> slots_;

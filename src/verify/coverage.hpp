@@ -1,0 +1,63 @@
+// Interleaving-coverage signatures for the schedule fuzzer.
+//
+// A "signature" abstracts one context switch of an execution: an adjacent
+// step pair (a, b) with a.pid != b.pid, keyed by what the two steps did —
+// (op kind, register) of each side, plus whether the switch handed the
+// register over (same register) or jumped (different registers). Executions
+// that differ only in which pids performed a switch, or in where inside a
+// solo run it happened, collapse to the same signature set; executions that
+// interleave different operations produce new signatures. The map therefore
+// measures *interleaving diversity*, the thing a schedule fuzzer should
+// maximize: racing a write under a collect is a different signature from
+// racing it under another write, while re-running the same race with
+// relabeled pids is not progress.
+//
+// Fed from ISystem::step_infos() (the type-erased step log that the covering
+// adversaries already use), so it works for every family with no per-family
+// plumbing. Deterministic: the signature of a step pair is a pure function
+// of the StepInfos.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/isystem.hpp"
+
+namespace stamped::verify {
+
+/// Set of op-pair interleaving signatures accumulated over executions.
+class CoverageMap {
+ public:
+  /// Packs one context switch: 3 op-kind bits and 20 register bits per side,
+  /// plus a same-register flag. Registers beyond 2^20-1 alias (harmless: the
+  /// map under-counts diversity, never miscounts an execution as new twice).
+  [[nodiscard]] static std::uint64_t signature(const runtime::StepInfo& a,
+                                               const runtime::StepInfo& b) {
+    const auto pack = [](const runtime::StepInfo& s) -> std::uint64_t {
+      const auto reg = static_cast<std::uint64_t>(s.reg) & 0xfffff;
+      return (static_cast<std::uint64_t>(s.kind) << 20) | reg;
+    };
+    const std::uint64_t same_reg = a.reg == b.reg ? 1 : 0;
+    return (pack(a) << 24) | (pack(b) << 1) | same_reg;
+  }
+
+  /// Feeds one complete execution's step log; returns how many of its
+  /// signatures no earlier execution had visited.
+  std::size_t add_execution(const std::vector<runtime::StepInfo>& steps) {
+    std::size_t fresh = 0;
+    for (std::size_t i = 1; i < steps.size(); ++i) {
+      if (steps[i - 1].pid == steps[i].pid) continue;
+      if (seen_.insert(signature(steps[i - 1], steps[i])).second) ++fresh;
+    }
+    return fresh;
+  }
+
+  /// Distinct signatures visited so far.
+  [[nodiscard]] std::size_t size() const { return seen_.size(); }
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace stamped::verify

@@ -127,6 +127,13 @@ HbReport check_timestamp_property(
 /// corollary of the main property; separated for sharper failure messages).
 /// Collects ALL violations; each message carries both offending timestamps.
 /// `pair_filter` releases pairs from their obligation as above.
+///
+/// Same-pid pairs are ordered by happens-before, not call_index: a restarted
+/// process (crash/restart adversary) begins a fresh program whose call_index
+/// restarts at 0, yet its post-restart calls still happen after its
+/// pre-crash ones — the event stamps, unlike the per-incarnation indices,
+/// survive the crash. For crash-free histories the two orders coincide
+/// (call k responds before call k+1 invokes).
 template <class Ts, class Cmp, class PairFilter>
 HbReport check_per_process_monotonicity_filtered(
     const std::vector<runtime::CallRecord<Ts>>& records, Cmp cmp,
@@ -136,7 +143,7 @@ HbReport check_per_process_monotonicity_filtered(
     for (std::size_t k = 0; k < records.size(); ++k) {
       const auto& a = records[i];
       const auto& b = records[k];
-      if (a.pid != b.pid || a.call_index >= b.call_index) continue;
+      if (a.pid != b.pid || i == k || !a.happens_before(b)) continue;
       if (!pair_filter(a, b)) {
         ++report.filtered_pairs;
         continue;

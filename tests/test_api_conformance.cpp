@@ -221,6 +221,117 @@ TEST_P(FamilyConformance, PersistentSetsExploreNoMoreNodesAndAgree) {
   }
 }
 
+TEST_P(FamilyConformance, TimestampPropertyUnderCrashRestart) {
+  // The crash/restart adversary kills processes mid-call; crashed calls
+  // never complete, so they never enter the history — the property must hold
+  // among the completed calls, and every survivor (never crashed, or
+  // restarted) must finish: the wait-freedom obligation. Restart is enabled
+  // only for long-lived families: a restarted one-shot process re-runs its
+  // call against a register pool sized for the original call count.
+  const api::Harness harness;
+  runtime::CrashPlan plan;
+  plan.crashes = 2;
+  plan.restart = fam().lifetime == api::Lifetime::kLongLived;
+  std::uint64_t crashes_seen = 0;
+  for (api::ScenarioSpec spec : specs()) {
+    if (plan.restart && fam().name == "bounded") {
+      // Restart re-runs the victim's whole program, so one process can
+      // perform up to (crashes+1)*calls_per_process calls — beyond the
+      // recycling window the auto modulus K = 2*calls+1 is sized for, where
+      // the unconditional property legitimately fails. Size the universe for
+      // the inflated count; the recycling regime under crashes is covered by
+      // CrashRestartConformance.BoundedLabelRecyclingSurvivesCrashes below.
+      spec.universe_bound =
+          2 * (plan.crashes + 1) * spec.calls_per_process + 1;
+    }
+    for (std::uint64_t seed : {41u, 42u}) {
+      spec.seed = seed;
+      const auto report =
+          harness.run_scenario(fam(), spec, api::crash_restart(plan));
+      EXPECT_TRUE(report.ok()) << report.summary();
+      EXPECT_TRUE(report.survivors_finished) << report.summary();
+      EXPECT_EQ(report.all_finished, report.crashed_down == 0)
+          << report.summary();
+      if (plan.restart) {
+        EXPECT_EQ(report.restarts, report.crashes) << report.summary();
+      }
+      crashes_seen += report.crashes;
+    }
+  }
+  // Wait-freedom may outrun individual crash events (victims finish first),
+  // but across the whole grid the adversary must actually have killed.
+  EXPECT_GT(crashes_seen, 0u);
+}
+
+TEST_P(FamilyConformance, TimestampPropertyUnderJitter) {
+  // Stall windows only reorder steps, so every verdict of the clean sources
+  // must survive: property holds, everybody finishes, every call completes.
+  const api::Harness harness;
+  std::uint64_t stalls_seen = 0;
+  for (api::ScenarioSpec spec : specs()) {
+    const auto report = harness.run_scenario(fam(), spec, api::jittered());
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_TRUE(report.all_finished) << report.summary();
+    EXPECT_EQ(report.calls,
+              static_cast<std::uint64_t>(spec.total_calls()))
+        << report.summary();
+    EXPECT_GE(report.ticks, report.steps) << report.summary();
+    stalls_seen += report.stalls;
+  }
+  // Small scenarios may dodge every Bernoulli stall; the grid must not.
+  EXPECT_GT(stalls_seen, 0u);
+}
+
+TEST_P(FamilyConformance, TimestampPropertyUnderCoverageFuzzer) {
+  // Every fuzzed execution is a legal schedule, so every execution must pass
+  // the checkers; the search must reach interleaving signatures and retain
+  // mutation parents.
+  api::ScenarioSpec spec;
+  spec.n = 3;
+  spec.calls_per_process = fam().max_calls_per_process == 0 ? 2 : 1;
+  const auto report = api::Harness{}.run_scenario(
+      fam(), spec, api::coverage_fuzzer(/*seed=*/7, /*budget=*/24));
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_TRUE(report.all_finished) << report.summary();
+  EXPECT_EQ(report.executions, 24u);
+  EXPECT_GT(report.coverage_signatures, 0u) << report.summary();
+  EXPECT_GE(report.corpus_size, 1u) << report.summary();
+  EXPECT_EQ(report.calls, 24u * static_cast<std::uint64_t>(
+                                    spec.total_calls()))
+      << report.summary();
+}
+
+TEST(CrashRestartConformance, BoundedLabelRecyclingSurvivesCrashes) {
+  // The bounded family's mod-K label recycling under the crash/restart
+  // adversary: a deliberately small universe keeps the run in the recycling
+  // regime (wraps fire, the windowed pair filter engages) while victims die
+  // mid-call and return with fresh local state. The windowed property must
+  // hold across crash, wrap and restart combined.
+  api::ScenarioSpec spec;
+  spec.n = 3;
+  spec.calls_per_process = 8;
+  spec.universe_bound = 3;
+  runtime::CrashPlan plan;
+  plan.crashes = 2;
+  plan.restart = true;
+  plan.max_victim_steps = 12;
+  std::uint64_t restarts = 0;
+  std::int64_t wraps = 0;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    spec.seed = seed;
+    const auto report = api::Harness{}.run_scenario(
+        api::family("bounded"), spec, api::crash_restart(plan));
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_TRUE(report.survivors_finished) << report.summary();
+    restarts += report.restarts;
+    for (const auto& [key, value] : report.metrics) {
+      if (key == "wraps") wraps += value;
+    }
+  }
+  EXPECT_GT(restarts, 0u) << "no victim ever restarted across the seeds";
+  EXPECT_GT(wraps, 0) << "no execution ever recycled a label";
+}
+
 TEST_P(FamilyConformance, ReplayFactoryIsDeterministic) {
   // The registry factory must clone configurations by replay: two systems
   // stepped through the same schedule report identical register files.

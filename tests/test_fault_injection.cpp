@@ -3,15 +3,19 @@
 // including crashing (never being scheduled again) at arbitrary points,
 // possibly while covering registers.
 //
-// These tests crash random subsets of processes at random depths and verify
-// that (a) all surviving processes complete, (b) the timestamp property holds
-// among completed calls, and (c) for Algorithm 4 the space bound still holds.
+// The crash schedules come from the public api::crash_restart source (the
+// crash/restart ScheduleSource built on runtime::run_crash_restart), so every
+// suite here is a consumer of the same adversary the conformance tests run —
+// no ad-hoc crash loops. The checkers hold survivors to the full timestamp
+// property; crashed calls never completed, never entered the history, and
+// carry no obligation.
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <unordered_set>
 
-#include "core/maxscan_longlived.hpp"
-#include "core/simple_oneshot.hpp"
+#include "api/harness.hpp"
+#include "api/registry.hpp"
 #include "core/sqrt_oneshot.hpp"
 #include "runtime/scheduler.hpp"
 #include "snapshot/wait_free_snapshot.hpp"
@@ -21,36 +25,12 @@ namespace {
 
 using namespace stamped;
 
-/// Crashes each process of `victims` after a random number of its steps,
-/// then runs the survivors to completion under a random schedule. Returns
-/// true if every survivor finished.
-bool crash_and_survive(runtime::ISystem& sys,
-                       const std::vector<int>& victims, util::Rng& rng,
-                       std::uint64_t per_victim_steps) {
-  // Phase 1: advance victims a random distance (they then stop forever).
-  for (int v : victims) {
-    const std::uint64_t steps = rng.next_below(per_victim_steps + 1);
-    for (std::uint64_t s = 0; s < steps && !sys.finished(v); ++s) {
-      sys.step(v);
-    }
-  }
-  // Phase 2: random schedule over survivors only.
-  std::vector<int> survivors;
-  for (int p = 0; p < sys.num_processes(); ++p) {
-    if (std::find(victims.begin(), victims.end(), p) == victims.end()) {
-      survivors.push_back(p);
-    }
-  }
-  std::uint64_t guard = 0;
-  for (;;) {
-    std::vector<int> live;
-    for (int p : survivors) {
-      if (!sys.finished(p)) live.push_back(p);
-    }
-    if (live.empty()) return true;
-    if (++guard > (std::uint64_t{1} << 24)) return false;
-    sys.step(live[static_cast<std::size_t>(rng.next_below(live.size()))]);
-  }
+runtime::CrashPlan crash_plan(int crashes, std::uint64_t max_victim_steps) {
+  runtime::CrashPlan plan;
+  plan.crashes = crashes;
+  plan.restart = false;
+  plan.max_victim_steps = max_victim_steps;
+  return plan;
 }
 
 class FaultSweep
@@ -58,42 +38,31 @@ class FaultSweep
 
 TEST_P(FaultSweep, SqrtOneShotSurvivesCrashes) {
   const auto [n, crashes, seed] = GetParam();
-  util::Rng rng(seed);
-  runtime::CallLog<core::PairTimestamp> log;
-  auto sys = core::make_sqrt_oneshot_system(n, &log);
-  std::vector<int> victims;
-  for (int i = 0; i < crashes; ++i) {
-    victims.push_back(static_cast<int>(rng.next_below(
-        static_cast<std::uint64_t>(n))));
-  }
-  std::sort(victims.begin(), victims.end());
-  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
-  ASSERT_TRUE(crash_and_survive(*sys, victims, rng, 16));
-  runtime::check_no_failures(*sys);
+  api::ScenarioSpec spec;
+  spec.n = n;
+  spec.calls_per_process = 1;
+  spec.seed = seed;
+  const auto report = api::Harness{}.run_scenario(
+      api::family("sqrt-oneshot"), spec, api::crash_restart(crash_plan(crashes, 16)));
   // Survivors' calls satisfy the property; crashed calls never completed.
-  auto report = verify::check_timestamp_property(log.snapshot(),
-                                                 core::Compare{});
-  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_TRUE(report.survivors_finished) << report.summary();
+  EXPECT_EQ(report.all_finished, report.crashed_down == 0);
   // Space bound still holds (crashed processes may cover but not write more).
-  EXPECT_LE(sys->registers_written(), core::sqrt_oneshot_registers(n) - 1);
+  EXPECT_LE(report.registers_written, core::sqrt_oneshot_registers(n) - 1);
+  EXPECT_EQ(report.registers_allocated, core::sqrt_oneshot_registers(n));
 }
 
 TEST_P(FaultSweep, SimpleOneShotSurvivesCrashes) {
   const auto [n, crashes, seed] = GetParam();
-  util::Rng rng(seed ^ 0xabcdef);
-  runtime::CallLog<std::int64_t> log;
-  auto sys = core::make_simple_oneshot_system(n, &log);
-  std::vector<int> victims;
-  for (int i = 0; i < crashes; ++i) {
-    victims.push_back(static_cast<int>(rng.next_below(
-        static_cast<std::uint64_t>(n))));
-  }
-  std::sort(victims.begin(), victims.end());
-  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
-  ASSERT_TRUE(crash_and_survive(*sys, victims, rng, 8));
-  auto report = verify::check_timestamp_property(log.snapshot(),
-                                                 core::Compare{});
-  EXPECT_TRUE(report.ok()) << report.to_string();
+  api::ScenarioSpec spec;
+  spec.n = n;
+  spec.calls_per_process = 1;
+  spec.seed = seed ^ 0xabcdef;
+  const auto report = api::Harness{}.run_scenario(
+      api::family("simple-oneshot"), spec, api::crash_restart(crash_plan(crashes, 8)));
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_TRUE(report.survivors_finished) << report.summary();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -107,23 +76,43 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(FaultInjection, MaxScanSurvivesCrashes) {
-  const int n = 8;
-  util::Rng rng(7);
-  runtime::CallLog<std::int64_t> log;
-  auto sys = core::make_maxscan_system(n, 3, &log);
-  ASSERT_TRUE(crash_and_survive(*sys, {0, 3, 5}, rng, 12));
-  auto report = verify::check_timestamp_property(log.snapshot(),
-                                                 core::Compare{});
-  EXPECT_TRUE(report.ok()) << report.to_string();
-  auto mono = verify::check_per_process_monotonicity(log.snapshot(),
-                                                     core::Compare{});
-  EXPECT_TRUE(mono.ok()) << mono.to_string();
+  // Long-lived family, crashes without restart: survivors keep taking
+  // timestamps through the dead processes' covered registers. Monotonicity
+  // runs through the default checkers.
+  api::ScenarioSpec spec;
+  spec.n = 8;
+  spec.calls_per_process = 3;
+  spec.seed = 7;
+  const auto report = api::Harness{}.run_scenario(
+      api::family("maxscan"), spec, api::crash_restart(crash_plan(3, 12)));
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_TRUE(report.survivors_finished) << report.summary();
+}
+
+TEST(FaultInjection, MaxScanRestartedVictimsFinishEverything) {
+  // With restart, every victim comes back with fresh local state and re-runs
+  // its whole program — so the run ends with nobody down and all_finished.
+  runtime::CrashPlan plan;
+  plan.crashes = 4;
+  plan.restart = true;
+  plan.restart_delay = 6;
+  api::ScenarioSpec spec;
+  spec.n = 6;
+  spec.calls_per_process = 3;
+  spec.seed = 17;
+  const auto report = api::Harness{}.run_scenario(api::family("maxscan"), spec,
+                                                  api::crash_restart(plan));
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_TRUE(report.all_finished);
+  EXPECT_EQ(report.crashed_down, 0u);
+  EXPECT_EQ(report.restarts, report.crashes);
 }
 
 TEST(FaultInjection, CrashedCoverersDoNotBlockAlgorithm4Scans) {
   // Crash processes exactly when they are poised to write (covering) — the
   // scan's double collect must still succeed because a poised write is never
-  // executed.
+  // executed. This placement is more surgical than the random adversary, so
+  // it stays on the raw runtime API.
   const int n = 12;
   runtime::CallLog<core::PairTimestamp> log;
   auto sys = core::make_sqrt_oneshot_system(n, &log);
@@ -143,12 +132,16 @@ TEST(FaultInjection, CrashedCoverersDoNotBlockAlgorithm4Scans) {
 }
 
 TEST(FaultInjection, SnapshotScanWaitFreeDespiteCrashedWriters) {
+  // The snapshot object is not a timestamp family, so it takes the runtime
+  // crash driver directly rather than going through the harness.
   const int n = 4;
   snapshot::ScanLog log;
   auto sys = snapshot::make_snapshot_system(n, 2, &log);
   util::Rng rng(3);
-  // Crash writers 0 and 1 mid-flight; writers 2,3 must finish all rounds.
-  ASSERT_TRUE(crash_and_survive(*sys, {0, 1}, rng, 10));
+  const auto stats = runtime::run_crash_restart(
+      *sys, rng, crash_plan(2, 10), std::uint64_t{1} << 24);
+  EXPECT_TRUE(stats.survivors_finished);
+  EXPECT_GT(stats.crashes, 0u);
   runtime::check_no_failures(*sys);
 }
 

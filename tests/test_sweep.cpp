@@ -118,6 +118,176 @@ TEST(ScenarioSweep, ExhaustiveSourceRejectsCountsOnlyRecording) {
                invariant_error);
 }
 
+/// Field-by-field equality of two ScenarioReports — "byte-identical" spelled
+/// out so a mismatch names the drifting field instead of dumping structs.
+void expect_identical_reports(const api::ScenarioReport& a,
+                              const api::ScenarioReport& b) {
+  EXPECT_EQ(a.family, b.family);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.all_finished, b.all_finished);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.calls, b.calls);
+  EXPECT_EQ(a.registers_allocated, b.registers_allocated);
+  EXPECT_EQ(a.registers_written, b.registers_written);
+  EXPECT_EQ(a.ordered_pairs, b.ordered_pairs);
+  EXPECT_EQ(a.concurrent_pairs, b.concurrent_pairs);
+  EXPECT_EQ(a.filtered_pairs, b.filtered_pairs);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.crashed_down, b.crashed_down);
+  EXPECT_EQ(a.survivors_finished, b.survivors_finished);
+  EXPECT_EQ(a.stalls, b.stalls);
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.coverage_signatures, b.coverage_signatures);
+  EXPECT_EQ(a.corpus_size, b.corpus_size);
+  EXPECT_EQ(a.executions, b.executions);
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.sleep_pruned, b.sleep_pruned);
+  EXPECT_EQ(a.persistent_deferred, b.persistent_deferred);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.summary(), b.summary());
+}
+
+TEST(AdversaryDeterminism, SameSpecAndSeedSameReportBytes) {
+  // The adversarial sources' contract: same ScenarioSpec + seed => identical
+  // ScenarioReport, for every family and all three new sources. All their
+  // randomness flows through the single seeded rng, so two runs must agree
+  // in every field (explore_workers excluded: it is an explorer-only field
+  // and stays 0 here).
+  const api::Harness harness;
+  runtime::CrashPlan plan;
+  plan.crashes = 2;
+  const std::vector<api::ScheduleSource> sources = {
+      api::crash_restart(plan), api::jittered(),
+      api::coverage_fuzzer(/*seed=*/3, /*budget=*/12)};
+  for (const auto& fam : api::registry()) {
+    api::ScenarioSpec spec;
+    spec.n = 4;
+    spec.calls_per_process = fam.max_calls_per_process == 0 ? 3 : 1;
+    spec.seed = 99;
+    for (const auto& source : sources) {
+      const auto first = harness.run_scenario(fam, spec, source);
+      const auto second = harness.run_scenario(fam, spec, source);
+      SCOPED_TRACE(fam.name + " x " + source.name);
+      expect_identical_reports(first, second);
+    }
+  }
+}
+
+TEST(AdversaryDeterminism, CrashRestartDeterministicWithRestarts) {
+  // Restart resets coroutine-local state; the report must still be a pure
+  // function of (spec, seed, plan) — fresh frames may not leak any
+  // run-to-run nondeterminism.
+  runtime::CrashPlan plan;
+  plan.crashes = 3;
+  plan.restart = true;
+  plan.restart_delay = 5;
+  api::ScenarioSpec spec;
+  spec.n = 5;
+  spec.calls_per_process = 4;
+  spec.seed = 1234;
+  const auto first = api::Harness{}.run_scenario(
+      api::family("maxscan"), spec, api::crash_restart(plan));
+  const auto second = api::Harness{}.run_scenario(
+      api::family("maxscan"), spec, api::crash_restart(plan));
+  expect_identical_reports(first, second);
+  EXPECT_GT(first.crashes, 0u) << first.summary();
+}
+
+TEST(AdversaryDeterminism, ExhaustiveReportInvariantAcrossExploreThreads) {
+  // The parallel explorer merges per-worker results into set-derived counts,
+  // so the report must not depend on the worker count (explore_workers, the
+  // pool-size field itself, is the only legitimate difference).
+  verify::ExploreOptions opts;
+  opts.por = true;
+  opts.persistent = true;
+  api::ScenarioSpec spec;
+  spec.n = 2;
+  spec.calls_per_process = 1;
+  api::ScenarioReport baseline;
+  bool have_baseline = false;
+  for (int threads : {1, 2, 4}) {
+    spec.explore_threads = threads;
+    auto report = api::Harness{}.run_scenario(
+        api::family("maxscan"), spec, api::exhaustive_explorer(opts));
+    EXPECT_EQ(report.explore_workers, threads);
+    report.explore_workers = 0;  // normalize the pool-size field
+    if (!have_baseline) {
+      baseline = report;
+      have_baseline = true;
+      continue;
+    }
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical_reports(baseline, report);
+  }
+}
+
+TEST(PorCrossCheckSource, ExhaustiveSourceCertifies) {
+  // The harness-level cross-check runs the full and reduced trees from the
+  // family's own factory and they must agree on the (empty) violation set.
+  api::ScenarioSpec spec;
+  spec.n = 2;
+  spec.calls_per_process = 1;
+  verify::ExploreOptions opts;
+  opts.persistent = true;
+  const auto cross = api::Harness{}.crosscheck_por(
+      api::family("maxscan"), spec, api::exhaustive_explorer(opts));
+  EXPECT_TRUE(cross.agree());
+  EXPECT_TRUE(cross.full.ok());
+  EXPECT_TRUE(cross.reduced.ok());
+  EXPECT_GT(cross.full.executions, 0u);
+}
+
+TEST(PorCrossCheckSource, AdversarialSourcesRejectedLoudly) {
+  // crosscheck_por certifies the exhaustive tree; handing it any adversarial
+  // or driver source must throw, not silently "pass" a check that never ran.
+  api::ScenarioSpec spec;
+  spec.n = 2;
+  spec.calls_per_process = 1;
+  const api::Harness harness;
+  for (const api::ScheduleSource& source :
+       {api::crash_restart(), api::jittered(), api::coverage_fuzzer(1, 4),
+        api::round_robin(), api::seeded_random()}) {
+    SCOPED_TRACE(source.name);
+    EXPECT_THROW(static_cast<void>(harness.crosscheck_por(
+                     api::family("maxscan"), spec, source)),
+                 invariant_error);
+  }
+}
+
+TEST(ScenarioSweep, AdversarialSourcesSweepInParallel) {
+  // The new sources compose with the parallel grid runner like any other:
+  // per-spec reports identical to serial runs, in any worker interleaving.
+  const api::Harness harness;
+  const auto grid = maxscan_grid();
+  runtime::CrashPlan plan;
+  plan.crashes = 1;
+  plan.restart = true;
+  const auto sweep = harness.run_scenario_sweep(
+      api::family("maxscan"), grid, api::crash_restart(plan), {}, 4);
+  ASSERT_EQ(sweep.reports.size(), grid.size());
+  EXPECT_TRUE(sweep.ok()) << sweep.summary();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto serial = harness.run_scenario(api::family("maxscan"), grid[i],
+                                             api::crash_restart(plan));
+    EXPECT_EQ(sweep.reports[i].summary(), serial.summary()) << i;
+  }
+}
+
+TEST(ScenarioSweep, FuzzerSourceRejectsCountsOnlyRecording) {
+  // Coverage signatures come from the step-info log, which kCountsOnly
+  // discards; the conflict must be rejected loudly.
+  api::ScenarioSpec spec;
+  spec.n = 2;
+  spec.recording = runtime::RecordingMode::kCountsOnly;
+  EXPECT_THROW(static_cast<void>(api::Harness{}.run_scenario(
+                   api::family("simple-oneshot"), spec,
+                   api::coverage_fuzzer(1, 4))),
+               invariant_error);
+}
+
 TEST(ScenarioSweep, ExhaustiveSourceSweepsInParallel) {
   // The explorer source also fans out: each worker runs its own exploration.
   const api::Harness harness;
