@@ -1,0 +1,152 @@
+// AnalysisCtx: an instrumenting memory context for footprint dry-runs.
+//
+// Same interface as atomicmem::DirectCtx (immediately-ready awaiters, so
+// coroutines execute synchronously to completion), but backed by a plain
+// single-threaded register vector plus an AccessMap that records which pid
+// touched which register with which op kind. Running a family's typed
+// programs under AnalysisCtx yields the observed footprint of one sequential
+// interleaving at near-zero cost — no scheduler, no coroutine suspension.
+//
+// This is the typed entry point of the extractor; the registry-uniform path
+// (analysis::observe_footprint) instead drives the type-erased ISystem under
+// many schedules and harvests step infos, covering interleavings that a
+// synchronous run cannot reach. Both produce the same AccessMap shape.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "analysis/access_map.hpp"
+#include "runtime/coro.hpp"
+#include "runtime/value.hpp"
+#include "util/assert.hpp"
+
+namespace stamped::analysis {
+
+/// Shared state of one dry-run: plain registers, per-register write versions
+/// (for versioned_read), a step clock, and the access map being built.
+template <class V>
+class AnalysisMemory {
+ public:
+  AnalysisMemory(int n, int num_registers, const V& initial)
+      : map_(n, num_registers),
+        regs_(static_cast<std::size_t>(num_registers), initial),
+        versions_(static_cast<std::size_t>(num_registers), 0) {}
+
+  [[nodiscard]] int num_registers() const {
+    return static_cast<int>(regs_.size());
+  }
+  [[nodiscard]] const AccessMap& map() const { return map_; }
+  [[nodiscard]] std::uint64_t clock() const { return clock_; }
+
+ private:
+  template <class>
+  friend class AnalysisCtx;
+
+  AccessMap map_;
+  std::vector<V> regs_;
+  std::vector<std::uint64_t> versions_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t stamps_ = 0;
+};
+
+/// Memory context recording every access into the shared AnalysisMemory.
+/// Mirrors atomicmem::DirectCtx member for member so the same templated
+/// programs (core::maxscan_program and friends) compile against it.
+template <class V>
+class AnalysisCtx {
+ public:
+  using Value = V;
+
+  AnalysisCtx(AnalysisMemory<V>* mem, int pid) : mem_(mem), pid_(pid) {}
+
+  [[nodiscard]] int pid() const { return pid_; }
+  [[nodiscard]] int num_registers() const { return mem_->num_registers(); }
+
+  struct ValueAwaiter {
+    V v;
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    V await_resume() { return std::move(v); }
+  };
+  struct VoidAwaiter {
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept {}
+  };
+  struct VersionedAwaiter {
+    runtime::Versioned<V> v;
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    runtime::Versioned<V> await_resume() { return std::move(v); }
+  };
+
+  [[nodiscard]] ValueAwaiter read(int reg) {
+    note(runtime::OpKind::kRead, reg);
+    return {mem_->regs_[idx(reg)]};
+  }
+  [[nodiscard]] VersionedAwaiter versioned_read(int reg) {
+    note(runtime::OpKind::kRead, reg);
+    return {{mem_->regs_[idx(reg)], mem_->versions_[idx(reg)]}};
+  }
+  [[nodiscard]] VoidAwaiter write(int reg, V v) {
+    note(runtime::OpKind::kWrite, reg);
+    mem_->regs_[idx(reg)] = std::move(v);
+    ++mem_->versions_[idx(reg)];
+    return {};
+  }
+  [[nodiscard]] ValueAwaiter swap(int reg, V v) {
+    note(runtime::OpKind::kSwap, reg);
+    V old = std::exchange(mem_->regs_[idx(reg)], std::move(v));
+    ++mem_->versions_[idx(reg)];
+    return {std::move(old)};
+  }
+  [[nodiscard]] ValueAwaiter fetch_add(int reg, V addend)
+    requires std::is_arithmetic_v<V>
+  {
+    note(runtime::OpKind::kFetchAdd, reg);
+    V old = mem_->regs_[idx(reg)];
+    mem_->regs_[idx(reg)] = static_cast<V>(old + addend);
+    ++mem_->versions_[idx(reg)];
+    return {old};
+  }
+
+  std::uint64_t stamp() { return ++mem_->stamps_; }
+  [[nodiscard]] std::uint64_t steps_now() const { return mem_->clock_; }
+  [[nodiscard]] std::uint64_t my_steps() const { return ops_; }
+  void note_call_complete() { ++calls_; }
+  [[nodiscard]] std::uint64_t calls_completed() const { return calls_; }
+
+ private:
+  static std::size_t idx(int reg) { return static_cast<std::size_t>(reg); }
+
+  void note(runtime::OpKind kind, int reg) {
+    STAMPED_ASSERT_MSG(reg >= 0 && reg < num_registers(),
+                       "register " << reg << " out of range in dry-run");
+    mem_->map_.record(pid_, kind, reg);
+    ++ops_;
+    ++mem_->clock_;
+  }
+
+  AnalysisMemory<V>* mem_;
+  int pid_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t calls_ = 0;
+};
+
+/// Runs one coroutine program to completion under AnalysisCtx. The awaiters
+/// never suspend, so a single resume drives the whole body; a program that
+/// suspends anyway (a custom awaiter) is a bug in the dry-run harness.
+template <class V, class Fn>
+void run_to_completion(AnalysisMemory<V>& mem, int pid, Fn&& program) {
+  AnalysisCtx<V> ctx(&mem, pid);
+  runtime::ProcessTask task = std::forward<Fn>(program)(ctx);
+  task.handle().resume();
+  STAMPED_ASSERT_MSG(task.done(), "program suspended under AnalysisCtx");
+  if (task.exception() != nullptr) std::rethrow_exception(task.exception());
+}
+
+}  // namespace stamped::analysis

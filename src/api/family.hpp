@@ -134,6 +134,58 @@ class TypedFamilyInstance final : public FamilyInstance {
   std::function<Metrics()> metrics_fn_;
 };
 
+/// Register-ownership discipline of a family (paper, Sections 3-6): who may
+/// write each register. The space bounds hinge on this structure, so it is
+/// declared per family and linted against observed executions
+/// (analysis::lint_footprints) rather than assumed.
+enum class Ownership : std::uint8_t {
+  kSWMR,          ///< single writer per register (max-scan, bounded)
+  kMWMR,          ///< several declared writers per register (simple, fetch&add)
+  kMWMRSentinel,  ///< MWMR body plus never-written sentinel tail (Algorithm 4)
+};
+
+[[nodiscard]] constexpr const char* ownership_name(Ownership o) {
+  switch (o) {
+    case Ownership::kSWMR: return "SWMR";
+    case Ownership::kMWMR: return "MWMR";
+    case Ownership::kMWMRSentinel: return "MWMR+sentinel";
+  }
+  return "?";
+}
+
+/// The family's declared static register-access footprint: the paper's
+/// ownership discipline as data. `writer_mask` is the ground truth the
+/// footprint lint diffs observed executions against, and the static write
+/// map the explorer's exact persistent-set closure is built from
+/// (verify::WriteFootprints via analysis::write_footprints).
+struct FootprintSpec {
+  Ownership ownership = Ownership::kMWMR;
+
+  /// Bitmask of pids permitted to write `reg` in ANY execution of the
+  /// scenario (bit p set iff process p may write). A zero mask declares a
+  /// hard sentinel: the register is read but never written — Algorithm 4's
+  /// last register and the unreachable tail of the growing pool.
+  std::function<std::uint64_t(const ScenarioSpec&, int reg)> writer_mask;
+
+  /// True when `reg` may legitimately end a COMPLETE execution unwritten
+  /// (hard sentinels, and Algorithm 4's frontier registers beyond the phases
+  /// an execution actually starts). Registers observed never-written whose
+  /// predicate is false fail the lint.
+  std::function<bool(const ScenarioSpec&, int reg)> may_be_unwritten;
+
+  /// Op kinds the family's programs may issue, as a bitmask indexed by
+  /// runtime::OpKind (bit 1 << kind). The register algorithms use reads and
+  /// writes only; the fetch&add baseline declares kFetchAdd instead.
+  std::uint32_t allowed_ops = (1u << static_cast<unsigned>(
+                                   runtime::OpKind::kRead)) |
+                              (1u << static_cast<unsigned>(
+                                   runtime::OpKind::kWrite));
+
+  /// A family without a declared footprint predates the analysis layer (or
+  /// deliberately opts out); the lint reports it instead of guessing.
+  [[nodiscard]] bool declared() const { return writer_mask != nullptr; }
+};
+
 /// The type-erased descriptor of one timestamp implementation family.
 struct TimestampFamily {
   std::string name;       ///< unique slug, e.g. "sqrt-oneshot"
@@ -153,6 +205,11 @@ struct TimestampFamily {
   /// (max-scan, simple, bounded, fetch&add); Algorithm 4 allocates a
   /// never-written sentinel and writes only the phase frontier.
   bool writes_full_allocation = false;
+
+  /// Declared static register-access footprint (see FootprintSpec). Linted
+  /// against observed executions by analysis::lint_footprints and fed to the
+  /// explorer's exact persistent-set closure.
+  FootprintSpec footprint;
 
   /// Builds a live instance recording a typed history (null log never used).
   std::function<std::unique_ptr<FamilyInstance>(const ScenarioSpec&)> make;

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "analysis/footprint.hpp"
 #include "runtime/scheduler.hpp"
 #include "verify/coverage.hpp"
 #include "verify/hb_checker.hpp"
@@ -19,6 +20,19 @@
 namespace stamped::api {
 
 namespace {
+
+/// ExploreOptions::exact_footprints opt-in: lowers the family's declared
+/// footprint into the explorer's static write map. A family without a
+/// declared footprint keeps the pending-op heuristic (null map).
+void fill_footprints(verify::ExploreOptions& opts,
+                     const TimestampFamily& family,
+                     const ScenarioSpec& spec) {
+  if (!opts.exact_footprints || opts.footprints != nullptr ||
+      !family.footprint.declared()) {
+    return;
+  }
+  opts.footprints = analysis::write_footprints(family, spec);
+}
 
 /// A timestamp handle dressed up as a RegisterValue so the typed checkers of
 /// verify/hb_checker.hpp run unchanged over type-erased histories.
@@ -373,6 +387,7 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
                        "ScenarioSpec::recording == kFull");
     verify::ExploreOptions opts = source.explore;
     if (spec.explore_threads > 0) opts.threads = spec.explore_threads;
+    fill_footprints(opts, family, spec);
     // Instances are worker-private, but the worst-registers-written
     // accumulator is shared across the whole exploration — atomic, because
     // the parallel DFS runs checks from several workers at once.
@@ -547,6 +562,7 @@ verify::PorCrossCheck Harness::crosscheck_por(const TimestampFamily& family,
                      "ScenarioSpec::recording == kFull");
   verify::ExploreOptions opts = source.explore;
   if (spec.explore_threads > 0) opts.threads = spec.explore_threads;
+  fill_footprints(opts, family, spec);
   auto worst_written = std::make_shared<std::atomic<int>>(0);
   const verify::InstanceFactory factory =
       make_explore_factory(family, spec, checkers, worst_written);

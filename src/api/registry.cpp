@@ -28,6 +28,17 @@ std::int32_t bounded_modulus(const ScenarioSpec& spec) {
 template <class V>
 using Threaded = atomicmem::ThreadedHarness<V>;
 
+/// Bitmask of every pid in the scenario (FootprintSpec masks; n <= 64).
+constexpr std::uint64_t all_pids(int n) {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+constexpr std::uint64_t pid_bit(int p) { return std::uint64_t{1} << p; }
+
+constexpr std::uint32_t op_bit(runtime::OpKind k) {
+  return 1u << static_cast<unsigned>(k);
+}
+
 TimestampFamily maxscan_family() {
   TimestampFamily fam;
   fam.name = "maxscan";
@@ -40,6 +51,14 @@ TimestampFamily maxscan_family() {
     return util::bounds::longlived_upper_maxscan(spec.n);
   };
   fam.writes_full_allocation = true;
+  // Paper SWMR layout: register p belongs to process p; everyone collects.
+  fam.footprint.ownership = Ownership::kSWMR;
+  fam.footprint.writer_mask = [](const ScenarioSpec& spec, int reg) {
+    return reg >= 0 && reg < spec.n ? pid_bit(reg) : std::uint64_t{0};
+  };
+  fam.footprint.may_be_unwritten = [](const ScenarioSpec&, int) {
+    return false;
+  };
   fam.make = [](const ScenarioSpec& spec) -> std::unique_ptr<FamilyInstance> {
     auto inst = std::make_unique<
         TypedFamilyInstance<std::int64_t, std::int64_t, core::Compare>>();
@@ -77,6 +96,17 @@ TimestampFamily simple_oneshot_family() {
     return util::bounds::oneshot_upper_simple(spec.n);
   };
   fam.writes_full_allocation = true;
+  // Algorithm 2 pairs processes 2r and 2r+1 on register r.
+  fam.footprint.ownership = Ownership::kMWMR;
+  fam.footprint.writer_mask = [](const ScenarioSpec& spec, int reg) {
+    std::uint64_t mask = 0;
+    if (2 * reg < spec.n) mask |= pid_bit(2 * reg);
+    if (2 * reg + 1 < spec.n) mask |= pid_bit(2 * reg + 1);
+    return mask;
+  };
+  fam.footprint.may_be_unwritten = [](const ScenarioSpec&, int) {
+    return false;
+  };
   fam.make = [](const ScenarioSpec& spec) -> std::unique_ptr<FamilyInstance> {
     auto inst = std::make_unique<
         TypedFamilyInstance<std::int64_t, std::int64_t, core::Compare>>();
@@ -150,6 +180,19 @@ TimestampFamily sqrt_oneshot_family() {
         core::sqrt_oneshot_registers(spec.total_calls()));
   };
   fam.writes_full_allocation = false;  // the sentinel is never written
+  // Algorithm 4: any process may write any frontier register; the last of
+  // the ceil(2*sqrt(M)) registers is the paper's never-written sentinel.
+  // Frontier registers beyond the phases an execution actually starts may
+  // legitimately stay unwritten (register 0 never may: the first getTS
+  // call's starter write lands there).
+  fam.footprint.ownership = Ownership::kMWMRSentinel;
+  fam.footprint.writer_mask = [](const ScenarioSpec& spec, int reg) {
+    const int m = core::sqrt_oneshot_registers(spec.total_calls());
+    return reg >= 0 && reg < m - 1 ? all_pids(spec.n) : std::uint64_t{0};
+  };
+  fam.footprint.may_be_unwritten = [](const ScenarioSpec&, int reg) {
+    return reg >= 1;
+  };
   fam.make = [](const ScenarioSpec& spec) {
     return make_alg4_instance(spec, /*growing=*/false);
   };
@@ -180,6 +223,18 @@ TimestampFamily growing_oneshot_family() {
         static_cast<int>(spec.total_calls())));
   };
   fam.writes_full_allocation = false;
+  // Growing pool: each getTS call starts at most one phase and invalidation
+  // writes only target already-started phases, so with total_calls() calls
+  // no register at index >= total_calls() is ever written — the pool's tail
+  // (growing_pool_registers adds two) is all sentinel.
+  fam.footprint.ownership = Ownership::kMWMRSentinel;
+  fam.footprint.writer_mask = [](const ScenarioSpec& spec, int reg) {
+    return reg >= 0 && reg < spec.total_calls() ? all_pids(spec.n)
+                                                : std::uint64_t{0};
+  };
+  fam.footprint.may_be_unwritten = [](const ScenarioSpec&, int reg) {
+    return reg >= 1;
+  };
   fam.make = [](const ScenarioSpec& spec) {
     return make_alg4_instance(spec, /*growing=*/true);
   };
@@ -209,6 +264,15 @@ TimestampFamily fetchadd_family() {
     return std::int64_t{1};
   };
   fam.writes_full_allocation = true;
+  // Everyone RMWs the single counter; the only op kind is fetch&add.
+  fam.footprint.ownership = Ownership::kMWMR;
+  fam.footprint.writer_mask = [](const ScenarioSpec& spec, int reg) {
+    return reg == 0 ? all_pids(spec.n) : std::uint64_t{0};
+  };
+  fam.footprint.may_be_unwritten = [](const ScenarioSpec&, int) {
+    return false;
+  };
+  fam.footprint.allowed_ops = op_bit(runtime::OpKind::kFetchAdd);
   fam.make = [](const ScenarioSpec& spec) -> std::unique_ptr<FamilyInstance> {
     auto inst = std::make_unique<
         TypedFamilyInstance<std::int64_t, std::int64_t, core::Compare>>();
@@ -248,6 +312,15 @@ TimestampFamily bounded_family() {
     return static_cast<std::int64_t>(spec.n);
   };
   fam.writes_full_allocation = true;
+  // Haldar-Vitanyi assumes one writer per traceable variable: register p
+  // holds process p's label and only p rewrites it.
+  fam.footprint.ownership = Ownership::kSWMR;
+  fam.footprint.writer_mask = [](const ScenarioSpec& spec, int reg) {
+    return reg >= 0 && reg < spec.n ? pid_bit(reg) : std::uint64_t{0};
+  };
+  fam.footprint.may_be_unwritten = [](const ScenarioSpec&, int) {
+    return false;
+  };
   fam.make = [](const ScenarioSpec& spec) -> std::unique_ptr<FamilyInstance> {
     using Instance = TypedFamilyInstance<
         core::BoundedLabel, core::BoundedTimestamp, core::BoundedCompare>;

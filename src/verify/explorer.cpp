@@ -471,9 +471,67 @@ class Explorer {
     request_stop();
   }
 
-  /// Persistent-set heuristic: shrinks the candidate set to the smallest
-  /// closure of a single candidate under pending-op footprint conflicts and
-  /// returns how many candidates were deferred.
+  /// Fixed-point closure of {seed} under pending-op footprint conflicts
+  /// (same register, at least one write) — the heuristic relation.
+  static std::uint64_t close_pending(
+      const std::vector<runtime::PendingOp>& pending_buf,
+      const std::vector<int>& candidates, int seed) {
+    std::uint64_t in = bit(seed);
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const int q : candidates) {
+        if ((in & bit(q)) != 0) continue;
+        for (const int p : candidates) {
+          if ((in & bit(p)) == 0) continue;
+          if (footprint_conflict(pending_buf[static_cast<std::size_t>(q)],
+                                 pending_buf[static_cast<std::size_t>(p)])) {
+            in |= bit(q);
+            grew = true;
+            break;
+          }
+        }
+      }
+    }
+    return in;
+  }
+
+  /// Fixed-point closure of {seed} under the declared static write map:
+  /// q joins while it MAY EVER write a register some member is pending on
+  /// (ExploreOptions::footprints; see the header's file comment). Future
+  /// writers are chased exactly; pending readers of a member's write are
+  /// not pulled in, which is where this closure undercuts the pending-op
+  /// one at write-pending nodes of SWMR families.
+  static std::uint64_t close_static(
+      const std::vector<runtime::PendingOp>& pending_buf,
+      const std::vector<int>& candidates, int seed,
+      const WriteFootprints& fp) {
+    std::uint64_t in = bit(seed);
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const int q : candidates) {
+        if ((in & bit(q)) != 0) continue;
+        for (const int p : candidates) {
+          if ((in & bit(p)) == 0) continue;
+          const int reg = pending_buf[static_cast<std::size_t>(p)].reg;
+          if (reg >= 0 && (fp.writers_of(reg) & bit(q)) != 0) {
+            in |= bit(q);
+            grew = true;
+            break;
+          }
+        }
+      }
+    }
+    return in;
+  }
+
+  /// Persistent-set reduction: shrinks the candidate set to the smallest
+  /// per-seed closure — the pending-op heuristic, or with
+  /// ExploreOptions::footprints the smaller of it and the static write-map
+  /// closure — and returns how many candidates were deferred. Taking the
+  /// per-seed minimum makes the footprint-driven node never branch wider
+  /// than the heuristic node.
   /// Candidates outside the closure never branch (and never replay) at this
   /// node; they are deferred, not slept — their turn comes deeper in the
   /// chosen subtree. Deterministic: seeds are tried in ascending pid order
@@ -482,26 +540,15 @@ class Explorer {
       runtime::ISystem& sys, std::vector<runtime::PendingOp>& pending_buf,
       std::vector<int>& candidates) {
     sys.pending_all(pending_buf);
+    const WriteFootprints* fp = opts_.footprints.get();
     std::uint64_t best = 0;
     int best_count = std::numeric_limits<int>::max();
     for (const int seed : candidates) {
-      std::uint64_t in = bit(seed);
-      bool grew = true;
-      while (grew) {
-        grew = false;
-        for (const int q : candidates) {
-          if ((in & bit(q)) != 0) continue;
-          for (const int p : candidates) {
-            if ((in & bit(p)) == 0) continue;
-            if (footprint_conflict(
-                    pending_buf[static_cast<std::size_t>(q)],
-                    pending_buf[static_cast<std::size_t>(p)])) {
-              in |= bit(q);
-              grew = true;
-              break;
-            }
-          }
-        }
+      std::uint64_t in = close_pending(pending_buf, candidates, seed);
+      if (fp != nullptr) {
+        const std::uint64_t sin =
+            close_static(pending_buf, candidates, seed, *fp);
+        if (std::popcount(sin) < std::popcount(in)) in = sin;
       }
       const int count = std::popcount(in);
       if (count < best_count) {

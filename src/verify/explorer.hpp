@@ -59,6 +59,20 @@
 // full-vs-reduced violation sets per instance), and the conformance suite
 // runs it per family.
 //
+// ExploreOptions::footprints sharpens the pending-op closure with the
+// family's declared static write map (analysis::write_footprints): a
+// deferred process joins the persistent set only if it MAY EVER write a
+// register the set already has pending — membership is decided by the
+// declared writer masks, not by the op the process happens to be poised at.
+// For SWMR families the static map is the exact set of future writers of
+// each register, which closes the heuristic's future-write gap on the write
+// side (a process poised at a read now but about to write a pending
+// register is pulled in). At each seed the engine takes whichever closure —
+// static or pending-op — is smaller, so the footprint-driven tree never
+// branches wider than the heuristic tree at any node. Read observability
+// (who will later read a pending write) remains approximate, so
+// crosscheck_por() stays the certification tool here too.
+//
 // Known scope limit (inherited from the exploration tree itself, not
 // introduced by the reduction): each process's FIRST invocation stamp is
 // taken when its coroutine starts — at the root for a live instance, after
@@ -99,6 +113,22 @@ struct ExplorationInstance {
 /// thread-safe; instances themselves are never shared between workers.
 using InstanceFactory = std::function<ExplorationInstance()>;
 
+/// Static write map of the explored family: bit p of reg_writers[r] is set
+/// iff process p may write register r in SOME execution of the scenario.
+/// Produced by analysis::write_footprints from the family's declared
+/// FootprintSpec; consumed by the persistent-set closure (see file comment).
+/// Registers beyond reg_writers.size() are treated as writable by everyone
+/// (no information, no reduction).
+struct WriteFootprints {
+  std::vector<std::uint64_t> reg_writers;
+
+  [[nodiscard]] std::uint64_t writers_of(int reg) const {
+    return reg >= 0 && reg < static_cast<int>(reg_writers.size())
+               ? reg_writers[static_cast<std::size_t>(reg)]
+               : ~std::uint64_t{0};
+  }
+};
+
 struct ExploreOptions {
   /// Stop after this many complete executions (0 = unlimited). Enforced
   /// exactly in both serial and parallel mode (atomic budget), but which
@@ -121,6 +151,14 @@ struct ExploreOptions {
   /// exact serial exploration on the calling thread; 0 = hardware
   /// concurrency. See the file comment for the determinism guarantees.
   int threads = 1;
+  /// Declared static write map for the footprint-driven persistent-set
+  /// closure (see file comment). Null = pending-op heuristic only. Ignored
+  /// unless `persistent`.
+  std::shared_ptr<const WriteFootprints> footprints;
+  /// Harness switch: when set, api::Harness fills `footprints` from the
+  /// family's declared FootprintSpec before exploring (run_scenario and
+  /// crosscheck_por exhaustive paths). No effect on direct explorer calls.
+  bool exact_footprints = false;
 };
 
 struct ExploreResult {

@@ -1,0 +1,152 @@
+#include "verify/race_detector.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace stamped::verify {
+
+namespace {
+
+constexpr bool op_reads(runtime::OpKind k) {
+  return k == runtime::OpKind::kRead || k == runtime::OpKind::kSwap ||
+         k == runtime::OpKind::kFetchAdd;
+}
+
+/// Last access of one pid to one register, FastTrack-epoch style: q's own
+/// clock component at the access. The access is HB-before a later event e
+/// iff VC[e.pid][q] >= clock — and q's EARLIER accesses are program-ordered
+/// before this one, so the last access per (reg, pid, read/write) is all
+/// the detector must remember.
+struct Epoch {
+  std::uint64_t clock = 0;  ///< 0 = no such access yet
+  std::size_t step = 0;
+  runtime::OpKind kind = runtime::OpKind::kNone;
+};
+
+struct RegState {
+  std::vector<std::uint64_t> last_write_clock;  ///< VC of the last write
+  bool written = false;
+  std::vector<Epoch> write;  ///< per pid
+  std::vector<Epoch> read;   ///< per pid
+};
+
+}  // namespace
+
+std::string RaceReport::to_string() const {
+  std::ostringstream os;
+  os << "ownership race on reg " << reg << ": step " << first_step << " (pid "
+     << first_pid << ", " << runtime::op_kind_name(first_kind) << ") vs step "
+     << second_step << " (pid " << second_pid << ", "
+     << runtime::op_kind_name(second_kind) << "), undeclared writer(s) mask 0x";
+  os << std::hex << undeclared_mask;
+  return std::move(os).str();
+}
+
+RaceCheckResult detect_races(const std::vector<runtime::StepInfo>& trace,
+                             int n, int m, const WriteFootprints* writers) {
+  STAMPED_ASSERT_MSG(n >= 1 && n <= 64,
+                     "vector clocks are pid-indexed, 1 <= n <= 64, got " << n);
+  STAMPED_ASSERT_MSG(m >= 1, "need at least one register");
+
+  std::vector<std::vector<std::uint64_t>> vc(
+      static_cast<std::size_t>(n),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(n), 0));
+  std::vector<RegState> regs(static_cast<std::size_t>(m));
+  for (RegState& rs : regs) {
+    rs.last_write_clock.assign(static_cast<std::size_t>(n), 0);
+    rs.write.assign(static_cast<std::size_t>(n), {});
+    rs.read.assign(static_cast<std::size_t>(n), {});
+  }
+
+  RaceCheckResult result;
+
+  // An access with at least one undeclared writer (or any conflicting pair
+  // when no footprint is declared) gets reported.
+  const auto report = [&](int reg, const Epoch& prev, int prev_pid,
+                          std::size_t cur_step, int cur_pid,
+                          runtime::OpKind cur_kind) {
+    const std::uint64_t declared =
+        writers != nullptr ? writers->writers_of(reg) : 0;
+    std::uint64_t undeclared = 0;
+    if (runtime::op_kind_writes(prev.kind) &&
+        (declared >> prev_pid & 1u) == 0) {
+      undeclared |= std::uint64_t{1} << prev_pid;
+    }
+    if (runtime::op_kind_writes(cur_kind) && (declared >> cur_pid & 1u) == 0) {
+      undeclared |= std::uint64_t{1} << cur_pid;
+    }
+    if (writers != nullptr && undeclared == 0) return;
+    RaceReport r;
+    r.reg = reg;
+    r.first_step = prev.step;
+    r.second_step = cur_step;
+    r.first_pid = prev_pid;
+    r.second_pid = cur_pid;
+    r.first_kind = prev.kind;
+    r.second_kind = cur_kind;
+    r.undeclared_mask = undeclared;
+    result.races.push_back(std::move(r));
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const runtime::StepInfo& s = trace[i];
+    if (s.kind == runtime::OpKind::kNone) continue;  // crash markers etc.
+    STAMPED_ASSERT(s.pid >= 0 && s.pid < n);
+    STAMPED_ASSERT_MSG(s.reg >= 0 && s.reg < m,
+                       "trace touches reg " << s.reg << " outside geometry m="
+                                            << m);
+    const auto p = static_cast<std::size_t>(s.pid);
+    const auto r = static_cast<std::size_t>(s.reg);
+    RegState& rs = regs[r];
+    std::vector<std::uint64_t>& my = vc[p];
+
+    ++my[p];  // fresh epoch for this event (program order)
+    ++result.steps_analyzed;
+
+    // Reads-from: observing the register orders this event after its last
+    // write. Applied before the conflict scan so write->read pairs come out
+    // ordered; a plain write skips this, keeping blind overwrites unordered.
+    if (op_reads(s.kind) && rs.written) {
+      for (std::size_t q = 0; q < static_cast<std::size_t>(n); ++q) {
+        if (rs.last_write_clock[q] > my[q]) my[q] = rs.last_write_clock[q];
+      }
+    }
+
+    // Conflict scan against the last access per other pid.
+    for (int q = 0; q < n; ++q) {
+      if (q == s.pid) continue;
+      const auto qi = static_cast<std::size_t>(q);
+      const Epoch& w = rs.write[qi];
+      if (w.clock != 0 && my[qi] < w.clock) {
+        report(s.reg, w, q, i, s.pid, s.kind);
+      }
+      if (s.is_write()) {
+        const Epoch& rd = rs.read[qi];
+        if (rd.clock != 0 && my[qi] < rd.clock) {
+          report(s.reg, rd, q, i, s.pid, s.kind);
+        }
+      }
+    }
+
+    // Publish this event into the register's history.
+    if (op_reads(s.kind)) rs.read[p] = {my[p], i, s.kind};
+    if (s.is_write()) {
+      rs.write[p] = {my[p], i, s.kind};
+      rs.last_write_clock = my;
+      rs.written = true;
+    }
+  }
+  return result;
+}
+
+RaceCheckResult detect_races(runtime::ISystem& sys,
+                             const WriteFootprints* writers) {
+  STAMPED_ASSERT_MSG(sys.recording_mode() == runtime::RecordingMode::kFull,
+                     "race detection needs the full step-info trace");
+  return detect_races(sys.step_infos(), sys.num_processes(),
+                      sys.num_registers(), writers);
+}
+
+}  // namespace stamped::verify

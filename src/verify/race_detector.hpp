@@ -1,0 +1,76 @@
+// Happens-before race detector over recorded traces.
+//
+// The simulator serializes every shared-memory step, so an execution has no
+// data race in the C++ sense — what CAN go wrong is an OWNERSHIP race: a
+// write to a register outside the writer set the family declares, unordered
+// (by happens-before) with a conflicting access of that register. The
+// paper's SWMR space arguments assume such writes never happen; this
+// detector checks each recorded execution against that assumption, the
+// trace-level complement of the static footprint lint.
+//
+// Happens-before is built vector-clock style (Mattern / FastTrack lineage,
+// see PAPERS.md) from the trace order the simulator records:
+//  - program order: consecutive steps of one pid;
+//  - reads-from order: a READING access of register r (read, and the read
+//    half of swap/fetch&add) acquires the vector clock of r's last write —
+//    observing a value synchronizes with the write that produced it. Plain
+//    writes acquire nothing: overwriting blind is not synchronization, so
+//    write/write and write-after-read pairs stay unordered unless a
+//    program-order or reads-from chain connects them (successive RMWs on
+//    one register, e.g., are totally ordered by their read halves).
+// Two same-register accesses with at least one write are *conflicting*; a
+// conflicting pair left unordered by the union above is a candidate race.
+// A candidate is REPORTED only when at least one side is an undeclared
+// writer — algorithm-internal write races of declared MWMR writer sets
+// (fetch&add, Algorithm 4's frontier) are the families' business, ordered
+// by register coherence above, and not ownership violations.
+//
+// With no declared footprint (writers == nullptr) every writer is
+// undeclared-unknown and candidates are reported unconditionally: the
+// detector degrades to a plain HB race check on the trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/isystem.hpp"
+#include "verify/explorer.hpp"
+
+namespace stamped::verify {
+
+/// One flagged pair, in trace order (first < second).
+struct RaceReport {
+  int reg = -1;
+  std::size_t first_step = 0;   ///< trace index of the earlier access
+  std::size_t second_step = 0;  ///< trace index of the later access
+  int first_pid = -1;
+  int second_pid = -1;
+  runtime::OpKind first_kind = runtime::OpKind::kNone;
+  runtime::OpKind second_kind = runtime::OpKind::kNone;
+  /// The pid(s) of the pair writing outside the declared mask.
+  std::uint64_t undeclared_mask = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct RaceCheckResult {
+  std::vector<RaceReport> races;
+  std::uint64_t steps_analyzed = 0;
+
+  [[nodiscard]] bool ok() const { return races.empty(); }
+};
+
+/// Analyzes one recorded trace. `n` / `m` give the geometry; `writers` is
+/// the declared static write map (null = report every unordered conflicting
+/// pair). Steps with kind kNone (crash markers etc.) are skipped.
+[[nodiscard]] RaceCheckResult detect_races(
+    const std::vector<runtime::StepInfo>& trace, int n, int m,
+    const WriteFootprints* writers);
+
+/// Convenience overload: analyzes the system's own recorded trace
+/// (RecordingMode::kFull required).
+[[nodiscard]] RaceCheckResult detect_races(runtime::ISystem& sys,
+                                           const WriteFootprints* writers);
+
+}  // namespace stamped::verify

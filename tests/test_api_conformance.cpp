@@ -8,8 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/footprint.hpp"
 #include "api/harness.hpp"
 #include "api/registry.hpp"
+#include "util/rng.hpp"
+#include "verify/race_detector.hpp"
 
 namespace {
 
@@ -219,6 +222,89 @@ TEST_P(FamilyConformance, PersistentSetsExploreNoMoreNodesAndAgree) {
         << " vs " << sleep_only.summary();
     EXPECT_GT(layered.persistent_deferred, 0u) << layered.summary();
   }
+}
+
+TEST_P(FamilyConformance, FootprintLintPasses) {
+  // Every family declares its register-ownership discipline
+  // (api::FootprintSpec); the lint diffs it against observed executions and
+  // must come back clean at the sizes the issue pins (n in {2,3,4}).
+  for (int n : {2, 3, 4}) {
+    for (int calls : {1, 2}) {
+      api::ScenarioSpec spec;
+      spec.n = n;
+      spec.calls_per_process = calls;
+      if (!fam().supports(spec)) continue;
+      const analysis::LintReport report =
+          analysis::lint_footprints(fam(), spec);
+      EXPECT_TRUE(report.ok()) << report.to_string();
+      EXPECT_GT(report.observed.complete_runs, 0u);
+    }
+  }
+}
+
+TEST_P(FamilyConformance, RaceDetectorCleanOnRecordedTraces) {
+  // Every write of a registry family lands inside its declared writer mask,
+  // so the ownership race detector must flag nothing on any recorded trace
+  // — deterministic or random.
+  for (api::ScenarioSpec spec : specs()) {
+    if (spec.n > 16) continue;  // keep the battery fast; kinds don't change
+    const runtime::SystemFactory make = fam().factory(spec);
+    const auto fp = analysis::write_footprints(fam(), spec);
+
+    const auto expect_clean = [&](runtime::ISystem& sys) {
+      const verify::RaceCheckResult rc = verify::detect_races(sys, fp.get());
+      EXPECT_TRUE(rc.ok())
+          << fam().name << " n=" << spec.n
+          << " calls=" << spec.calls_per_process << ": "
+          << rc.races.front().to_string();
+    };
+
+    {
+      auto sys = make();
+      runtime::run_round_robin(*sys, 1u << 22);
+      expect_clean(*sys);
+    }
+    for (std::uint64_t seed : {1u, 7u, 41u}) {
+      auto sys = make();
+      util::Rng rng(spec.seed ^ seed);
+      runtime::run_random(*sys, rng, 1u << 22);
+      expect_clean(*sys);
+    }
+  }
+}
+
+TEST_P(FamilyConformance, ExactFootprintsExploreNoMoreNodesAndAgree) {
+  // ExploreOptions::exact_footprints swaps the pending-op persistent-set
+  // closure for min(static write-map closure, pending-op closure), so the
+  // footprint-driven tree can never branch wider at any node — globally it
+  // must visit no more nodes than the heuristic tree, find the identical
+  // (empty) violation set, and pass the full-vs-reduced cross-check.
+  api::ScenarioSpec spec;
+  spec.n = 2;
+  spec.calls_per_process = 1;
+  verify::ExploreOptions opts;
+  opts.max_executions = 1u << 17;
+  opts.por = true;
+  opts.persistent = true;
+  const api::Harness harness;
+  const auto heuristic =
+      harness.run_scenario(fam(), spec, api::exhaustive_explorer(opts));
+  opts.exact_footprints = true;
+  const auto exact =
+      harness.run_scenario(fam(), spec, api::exhaustive_explorer(opts));
+
+  EXPECT_TRUE(heuristic.ok()) << heuristic.summary();
+  EXPECT_TRUE(exact.ok()) << exact.summary();
+  EXPECT_FALSE(exact.budget_exhausted) << exact.summary();
+  EXPECT_EQ(exact.violations, heuristic.violations);
+  EXPECT_LE(exact.nodes, heuristic.nodes)
+      << exact.summary() << " vs " << heuristic.summary();
+
+  const verify::PorCrossCheck cc = harness.crosscheck_por(
+      fam(), spec, api::exhaustive_explorer(opts));
+  EXPECT_TRUE(cc.agree())
+      << "only_full=" << cc.only_full.size()
+      << " only_reduced=" << cc.only_reduced.size();
 }
 
 TEST_P(FamilyConformance, TimestampPropertyUnderCrashRestart) {
