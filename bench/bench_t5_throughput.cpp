@@ -2,7 +2,7 @@
 //
 // Lemma 6.14 (and Lemma 5.1) make the algorithms wait-free; this harness
 // measures what that costs on real atomics. The table is generated from
-// api::registry(): every family that provides run_threaded() is timed
+// api::registry(): every family that provides make_native() is timed
 // through the same generic driver (bench/generic_driver.hpp), so adding a
 // family to the registry adds it to this table.
 //
@@ -14,8 +14,9 @@
 //              one object, calls_per_thread getTS calls each.
 //   plain    — long-lived objects: persistent threads on one object.
 //
-// Every column runs through the same DirectCtx harness (run_threaded), so
-// the comparison is apples-to-apples: each shared-memory op also ticks the
+// Every column runs through the same DirectCtx harness (the native
+// backend), so the comparison is apples-to-apples: each shared-memory op
+// also ticks the
 // shared event clock that the history machinery uses. In particular the
 // fetchadd column measures the baseline *family* under that harness, not
 // the bare primitive — the bare-atomic cost is BM_FetchAddGetTs in the
@@ -77,8 +78,8 @@ void print_table() {
     std::vector<std::string> row{util::Table::fmt(static_cast<std::int64_t>(t))};
     for (const Workload& w : kWorkloads) {
       const api::TimestampFamily& fam = api::family(w.family);
-      STAMPED_ASSERT_MSG(fam.run_threaded != nullptr,
-                         "family '" << fam.name << "' has no threaded form");
+      STAMPED_ASSERT_MSG(fam.make_native != nullptr,
+                         "family '" << fam.name << "' has no native form");
       api::ScenarioSpec spec;
       spec.n = t;
       spec.calls_per_process = w.calls_per_thread;

@@ -66,16 +66,20 @@ inline std::int64_t worst_metric(const api::TimestampFamily& family,
 }
 
 /// Real-thread throughput of `family` (getTS calls per second): times
-/// `batches` consecutive run_threaded(spec) executions. For one-shot
-/// families each batch is a fresh single-use object (construction and thread
-/// spawn included, as a user would pay them); long-lived families amortize
-/// one object over calls_per_process calls.
+/// `batches` consecutive native executions via make_native + run_native.
+/// For one-shot families each batch is a fresh single-use instance
+/// (construction, recorder, and thread spawn included, as a user would pay
+/// them); long-lived families amortize one instance over calls_per_process
+/// calls. `threads <= 0` runs one OS thread per process.
 inline double threaded_throughput(const api::TimestampFamily& family,
-                                  const api::ScenarioSpec& spec,
-                                  int batches) {
+                                  const api::ScenarioSpec& spec, int batches,
+                                  int threads = 0) {
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
-  for (int b = 0; b < batches; ++b) family.run_threaded(spec);
+  for (int b = 0; b < batches; ++b) {
+    auto inst = family.make_native(spec);
+    (void)inst->run_native(threads);
+  }
   const double secs = std::chrono::duration_cast<
                           std::chrono::duration<double>>(Clock::now() - start)
                           .count();

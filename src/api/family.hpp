@@ -10,8 +10,9 @@
 //     behind the GenericCallLog view;
 //   - factory(spec): a deterministic runtime::SystemFactory for the
 //     replay-based adversaries and the exhaustive explorer;
-//   - run_threaded(spec): the same scenario on real hardware threads
-//     (atomicmem backend), when the family supports it.
+//   - make_native(spec): the same scenario as a native FamilyInstance that
+//     runs on real hardware threads (src/native/ over the atomicmem
+//     backend) and records a checkable history.
 //
 // api::registry() enumerates all families; harness.hpp composes any of them
 // with any schedule source and the history checkers.
@@ -34,6 +35,64 @@ namespace stamped::api {
 /// Family-specific counters surfaced in ScenarioReport (e.g. the bounded
 /// family's label recycles, Algorithm 4's double-collect scans).
 using Metrics = std::vector<std::pair<std::string, std::int64_t>>;
+
+/// Pair filter over typed records: does the ordered pair (a, b) carry a
+/// timestamp-property obligation? Null means every pair does. (Bounded
+/// families release pairs outside their recycling window.)
+template <class Ts>
+using PairFilter =
+    std::function<bool(const std::vector<runtime::CallRecord<Ts>>&,
+                       const runtime::CallRecord<Ts>&,
+                       const runtime::CallRecord<Ts>&)>;
+
+/// Erases a typed record vector to the GenericCallLog the checkers consume.
+/// Shared by the simulated instance (log snapshot) and the native instance
+/// (recorder merge) so both backends feed the checkers through one code path.
+template <class Ts, class Cmp>
+[[nodiscard]] GenericCallLog erase_call_log(
+    std::vector<runtime::CallRecord<Ts>> records, Cmp cmp,
+    PairFilter<Ts> filter = nullptr) {
+  auto typed = std::make_shared<std::vector<runtime::CallRecord<Ts>>>(
+      std::move(records));
+  GenericCallLog g;
+  g.records.reserve(typed->size());
+  for (std::size_t i = 0; i < typed->size(); ++i) {
+    const auto& r = (*typed)[i];
+    g.records.push_back({r.pid, r.call_index, i, r.invoked_at,
+                         r.responded_at});
+  }
+  g.before = [typed, cmp = std::move(cmp)](std::size_t a, std::size_t b) {
+    return cmp((*typed)[a].ts, (*typed)[b].ts);
+  };
+  g.ts_repr = [typed](std::size_t i) {
+    return runtime::value_repr((*typed)[i].ts);
+  };
+  if (filter) {
+    g.obligated = [typed, f = std::move(filter)](const GenericCallRecord& a,
+                                                 const GenericCallRecord& b) {
+      return f(*typed, (*typed)[a.ts], (*typed)[b.ts]);
+    };
+  } else {
+    g.obligated = [](const GenericCallRecord&, const GenericCallRecord&) {
+      return true;
+    };
+  }
+  return g;
+}
+
+/// What a native (real-thread) run did; surfaced in ScenarioReport. All
+/// counter fields are deterministic given the call counts; elapsed time and
+/// the per-thread split are genuinely nondeterministic (the OS schedules).
+struct NativeRunStats {
+  int threads = 0;               ///< workers actually spawned
+  double elapsed_seconds = 0.0;  ///< spawn-to-join wall time
+  std::uint64_t ops = 0;         ///< register operations executed
+  std::uint64_t calls = 0;       ///< completed getTS calls
+  std::vector<std::uint64_t> per_thread_calls;   ///< calls by worker index
+  std::uint64_t retired_nodes = 0;       ///< memory retirees after quiesce
+  std::uint64_t memory_arena_bytes = 0;  ///< AtomicMemory heap after quiesce
+  std::uint64_t recorder_arena_bytes = 0;  ///< history recorder block bytes
+};
 
 /// A live scenario: the simulated system plus the typed history it records,
 /// viewed type-erased. The instance owns the typed CallLog that the system's
@@ -63,6 +122,19 @@ class FamilyInstance {
   /// Family-specific counters (empty by default).
   [[nodiscard]] virtual Metrics metrics() const { return {}; }
 
+  /// True for instances built by TimestampFamily::make_native — they run on
+  /// real threads via run_native() and have no simulated system().
+  [[nodiscard]] virtual bool native() const { return false; }
+
+  /// Executes the native run (real threads; see src/native/). Only valid on
+  /// native instances, and single-use. `threads` <= 0 means hardware
+  /// concurrency.
+  virtual NativeRunStats run_native(int threads) {
+    (void)threads;
+    STAMPED_ASSERT_MSG(false, "run_native on a simulated instance");
+    return {};
+  }
+
  protected:
   FamilyInstance() = default;
   std::unique_ptr<runtime::ISystem> sys_;
@@ -76,12 +148,7 @@ class FamilyInstance {
 template <class V, class Ts, class Cmp>
 class TypedFamilyInstance final : public FamilyInstance {
  public:
-  /// Pair filter over the typed records: does the ordered pair (a, b) carry a
-  /// timestamp-property obligation? Null means every pair does.
-  using PairFilter =
-      std::function<bool(const std::vector<runtime::CallRecord<Ts>>&,
-                         const runtime::CallRecord<Ts>&,
-                         const runtime::CallRecord<Ts>&)>;
+  using PairFilter = api::PairFilter<Ts>;
 
   explicit TypedFamilyInstance(Cmp cmp = {}, PairFilter filter = nullptr)
       : cmp_(std::move(cmp)), filter_(std::move(filter)) {}
@@ -95,32 +162,7 @@ class TypedFamilyInstance final : public FamilyInstance {
   void set_metrics(std::function<Metrics()> fn) { metrics_fn_ = std::move(fn); }
 
   [[nodiscard]] GenericCallLog calls() const override {
-    auto typed = std::make_shared<std::vector<runtime::CallRecord<Ts>>>(
-        log_.snapshot());
-    GenericCallLog g;
-    g.records.reserve(typed->size());
-    for (std::size_t i = 0; i < typed->size(); ++i) {
-      const auto& r = (*typed)[i];
-      g.records.push_back({r.pid, r.call_index, i, r.invoked_at,
-                           r.responded_at});
-    }
-    g.before = [typed, cmp = cmp_](std::size_t a, std::size_t b) {
-      return cmp((*typed)[a].ts, (*typed)[b].ts);
-    };
-    g.ts_repr = [typed](std::size_t i) {
-      return runtime::value_repr((*typed)[i].ts);
-    };
-    if (filter_) {
-      g.obligated = [typed, f = filter_](const GenericCallRecord& a,
-                                         const GenericCallRecord& b) {
-        return f(*typed, (*typed)[a.ts], (*typed)[b.ts]);
-      };
-    } else {
-      g.obligated = [](const GenericCallRecord&, const GenericCallRecord&) {
-        return true;
-      };
-    }
-    return g;
+    return erase_call_log<Ts>(log_.snapshot(), cmp_, filter_);
   }
 
   [[nodiscard]] Metrics metrics() const override {
@@ -217,9 +259,12 @@ struct TimestampFamily {
   /// Deterministic log-free factory for replay adversaries / the explorer.
   std::function<runtime::SystemFactory(const ScenarioSpec&)> factory;
 
-  /// Runs the scenario on real threads (atomicmem backend); null when the
-  /// family has no threaded form.
-  std::function<void(const ScenarioSpec&)> run_threaded;
+  /// Builds a native instance: the same scenario wired for real threads
+  /// (src/native/ over the atomicmem backend), recording a history through
+  /// the lock-free recorder. Drive it with run_native(), then calls() /
+  /// metrics() as usual. Null when the family has no native form.
+  std::function<std::unique_ptr<FamilyInstance>(const ScenarioSpec&)>
+      make_native;
 
   /// Whether this family can run the given scenario.
   [[nodiscard]] bool supports(const ScenarioSpec& spec) const {

@@ -330,11 +330,25 @@ ScheduleSource coverage_fuzzer(FuzzOptions opts) {
   return src;
 }
 
+ScheduleSource native_os() {
+  ScheduleSource src;
+  src.name = "native-os";
+  src.kind = ScheduleSource::Kind::kNativeOS;
+  return src;
+}
+
 std::string ScenarioReport::summary() const {
   std::ostringstream os;
   os << family << " x " << schedule << " (n=" << spec.n << ", calls="
      << spec.calls_per_process << "): ";
-  if (schedule == "exhaustive") {
+  if (schedule == "native-os") {
+    os << steps << " ops on " << native_threads << " threads ("
+       << native_elapsed_seconds << "s, "
+       << static_cast<std::uint64_t>(native_ops_per_sec) << " ops/s), "
+       << calls << " calls, recorder " << recorder_arena_bytes
+       << " B, memory " << memory_arena_bytes << " B, retired "
+       << retired_nodes << ", ";
+  } else if (schedule == "exhaustive") {
     os << executions << " executions, " << nodes << " nodes";
     if (sleep_pruned > 0 || persistent_deferred > 0) {
       os << " (" << sleep_pruned << " pruned, " << persistent_deferred
@@ -372,11 +386,52 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
                                 << "' does not support this scenario (n="
                                 << spec.n << ", calls_per_process="
                                 << spec.calls_per_process << ")");
+  // Both directions: a native spec under a simulator source would silently
+  // run the wrong engine; a simulator spec under native_os() has no programs
+  // wired for real threads. Either way the report would lie about what ran.
+  STAMPED_ASSERT_MSG(
+      (spec.backend == Backend::kNative) ==
+          (source.kind == ScheduleSource::Kind::kNativeOS),
+      "backend/source mismatch: backend=" << backend_name(spec.backend)
+          << " with schedule source '" << source.name
+          << "' — the native backend runs only under api::native_os()");
   ScenarioReport rep;
   rep.family = family.name;
   rep.schedule = source.name;
   rep.spec = spec;
   rep.registers_allocated = family.registers_allocated(spec);
+
+  if (source.kind == ScheduleSource::Kind::kNativeOS) {
+    STAMPED_ASSERT_MSG(family.make_native != nullptr,
+                       "family '" << family.name << "' has no native form");
+    auto inst = family.make_native(spec);
+    const NativeRunStats st = inst->run_native(spec.native_threads);
+    // Native runs have no simulated scheduler: steps is the register-op
+    // count from the shared clock, and registers_written stays 0 (the
+    // atomic backend does not track per-register write sets; footprint
+    // analysis is a simulator concern).
+    rep.steps = st.ops;
+    rep.calls = st.calls;
+    rep.all_finished = true;  // run_native rethrows program failures
+    rep.survivors_finished = true;
+    rep.native_threads = st.threads;
+    rep.native_elapsed_seconds = st.elapsed_seconds;
+    rep.native_ops_per_sec =
+        st.elapsed_seconds > 0.0
+            ? static_cast<double>(st.ops) / st.elapsed_seconds
+            : 0.0;
+    rep.native_thread_calls = st.per_thread_calls;
+    rep.recorder_arena_bytes = st.recorder_arena_bytes;
+    rep.retired_nodes = st.retired_nodes;
+    rep.memory_arena_bytes = st.memory_arena_bytes;
+    rep.metrics = inst->metrics();
+    if (checkers.timestamp_property || checkers.per_process_monotonicity) {
+      // The Haldar–Vitányi move: the OS scheduled the run, so correctness
+      // comes from checking the recorded history post-hoc.
+      apply_checkers(inst->calls(), checkers, rep);
+    }
+    return rep;
+  }
 
   if (source.kind == ScheduleSource::Kind::kExhaustive) {
     // The explorer replays prefixes and inspects views, which requires full
@@ -526,6 +581,7 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
     }
     case ScheduleSource::Kind::kExhaustive:
     case ScheduleSource::Kind::kFuzzer:
+    case ScheduleSource::Kind::kNativeOS:
       STAMPED_ASSERT(false);  // handled above
   }
   runtime::check_no_failures(sys);

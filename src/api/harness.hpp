@@ -45,6 +45,7 @@ struct ScheduleSource {
     kCrash,       ///< crash/restart adversary (runtime::run_crash_restart)
     kJitter,      ///< seeded stall windows (runtime::run_jittered)
     kFuzzer,      ///< coverage-guided schedule search (verify::CoverageMap)
+    kNativeOS,    ///< real threads; the OS schedules (backend = kNative)
   };
 
   std::string name;
@@ -103,6 +104,12 @@ struct ScheduleSource {
                                              std::uint64_t budget);
 /// As above with full control of the search parameters.
 [[nodiscard]] ScheduleSource coverage_fuzzer(FuzzOptions opts);
+/// The native backend's one schedule source: real OS threads schedule
+/// themselves; the recorded history is checked post-hoc. Requires
+/// ScenarioSpec::backend == Backend::kNative (both directions are asserted —
+/// a native spec under a simulator source, or vice versa, is a category
+/// error). Thread count comes from ScenarioSpec::native_threads.
+[[nodiscard]] ScheduleSource native_os();
 
 /// Which history checks run_scenario applies to the recorded calls.
 struct Checkers {
@@ -166,6 +173,20 @@ struct ScenarioReport {
   /// ExploreOptions::threads, with 0 resolved to hardware concurrency (so
   /// this reports the real pool size, never 0).
   int explore_workers = 0;
+
+  /// kNativeOS only: real worker threads spawned / wall time / total
+  /// register ops and throughput (ops includes every read+write, so it is
+  /// deterministic for scan-free families and workload-dependent for
+  /// scanning ones) / completed calls per worker (sums to `calls`; the split
+  /// is OS-scheduling-dependent) / recorder block bytes / memory retirement
+  /// accounting after quiesce (retired_nodes is 0 on a clean quiesce).
+  int native_threads = 0;
+  double native_elapsed_seconds = 0.0;
+  double native_ops_per_sec = 0.0;
+  std::vector<std::uint64_t> native_thread_calls;
+  std::uint64_t recorder_arena_bytes = 0;
+  std::uint64_t retired_nodes = 0;
+  std::uint64_t memory_arena_bytes = 0;
 
   Metrics metrics;
   std::vector<std::string> violations;

@@ -11,6 +11,8 @@
 #include "core/simple_oneshot.hpp"
 #include "core/sqrt_oneshot.hpp"
 #include "core/timestamp.hpp"
+#include "native/native_instance.hpp"
+#include "native/native_system.hpp"
 #include "util/bounds.hpp"
 
 namespace stamped::api {
@@ -26,7 +28,7 @@ std::int32_t bounded_modulus(const ScenarioSpec& spec) {
 }
 
 template <class V>
-using Threaded = atomicmem::ThreadedHarness<V>;
+using NativeSys = native::NativeSystem<V>;
 
 /// Bitmask of every pid in the scenario (FootprintSpec masks; n <= 64).
 constexpr std::uint64_t all_pids(int n) {
@@ -69,17 +71,22 @@ TimestampFamily maxscan_family() {
   fam.factory = [](const ScenarioSpec& spec) {
     return core::maxscan_factory(spec.n, spec.calls_per_process);
   };
-  fam.run_threaded = [](const ScenarioSpec& spec) {
-    Threaded<std::int64_t> harness(spec.n, 0);
-    std::vector<Threaded<std::int64_t>::Program> programs;
+  fam.make_native = [](const ScenarioSpec& spec)
+      -> std::unique_ptr<FamilyInstance> {
+    auto inst = std::make_unique<native::TypedNativeInstance<
+        std::int64_t, std::int64_t, core::Compare>>(spec.n);
+    std::vector<NativeSys<std::int64_t>::Program> programs;
     for (int p = 0; p < spec.n; ++p) {
+      auto* arena = &inst->recorder().arena(p);
       programs.push_back(
-          [p, spec](atomicmem::DirectCtx<std::int64_t>& ctx) {
+          [p, spec, arena](atomicmem::DirectCtx<std::int64_t>& ctx) {
             return core::maxscan_program(ctx, p, spec.n,
-                                         spec.calls_per_process, nullptr);
+                                         spec.calls_per_process, arena);
           });
     }
-    harness.run(programs);
+    inst->adopt(std::make_unique<NativeSys<std::int64_t>>(
+        spec.n, 0, std::move(programs)));
+    return inst;
   };
   return fam;
 }
@@ -116,17 +123,22 @@ TimestampFamily simple_oneshot_family() {
   fam.factory = [](const ScenarioSpec& spec) {
     return core::simple_oneshot_factory(spec.n);
   };
-  fam.run_threaded = [](const ScenarioSpec& spec) {
+  fam.make_native = [](const ScenarioSpec& spec)
+      -> std::unique_ptr<FamilyInstance> {
     STAMPED_ASSERT(spec.calls_per_process == 1);
-    Threaded<std::int64_t> harness(core::simple_oneshot_registers(spec.n), 0);
-    std::vector<Threaded<std::int64_t>::Program> programs;
+    auto inst = std::make_unique<native::TypedNativeInstance<
+        std::int64_t, std::int64_t, core::Compare>>(spec.n);
+    std::vector<NativeSys<std::int64_t>::Program> programs;
     for (int p = 0; p < spec.n; ++p) {
+      auto* arena = &inst->recorder().arena(p);
       programs.push_back(
-          [p, spec](atomicmem::DirectCtx<std::int64_t>& ctx) {
-            return core::simple_getts_program(ctx, p, spec.n, nullptr);
+          [p, spec, arena](atomicmem::DirectCtx<std::int64_t>& ctx) {
+            return core::simple_getts_program(ctx, p, spec.n, arena);
           });
     }
-    harness.run(programs);
+    inst->adopt(std::make_unique<NativeSys<std::int64_t>>(
+        core::simple_oneshot_registers(spec.n), 0, std::move(programs)));
+    return inst;
   };
   return fam;
 }
@@ -153,17 +165,31 @@ std::unique_ptr<FamilyInstance> make_alg4_instance(
   return inst;
 }
 
-void run_alg4_threaded(const ScenarioSpec& spec, int m) {
-  Threaded<core::TsRecord> harness(m, core::TsRecord::bottom());
-  std::vector<Threaded<core::TsRecord>::Program> programs;
+/// Native counterpart of make_alg4_instance: Algorithm 4 over `m` real
+/// atomic TsRecord registers, recording into per-process arenas, SqrtStats
+/// (mutex-guarded — metrics, not the recorder hot path) as the metrics
+/// source.
+std::unique_ptr<FamilyInstance> make_alg4_native(
+    const ScenarioSpec& spec, int m) {
+  auto inst = std::make_unique<native::TypedNativeInstance<
+      core::TsRecord, core::PairTimestamp, core::Compare>>(spec.n);
+  auto stats = std::make_shared<core::SqrtStats>();
+  std::vector<NativeSys<core::TsRecord>::Program> programs;
   for (int p = 0; p < spec.n; ++p) {
+    auto* arena = &inst->recorder().arena(p);
     programs.push_back(
-        [p, spec, m](atomicmem::DirectCtx<core::TsRecord>& ctx) {
+        [p, spec, m, arena, stats](atomicmem::DirectCtx<core::TsRecord>& ctx) {
           return core::sqrt_calls_program(ctx, p, spec.calls_per_process, m,
-                                          nullptr, nullptr);
+                                          arena, stats.get());
         });
   }
-  harness.run(programs);
+  inst->adopt(std::make_unique<NativeSys<core::TsRecord>>(
+      m, core::TsRecord::bottom(), std::move(programs)));
+  inst->set_metrics([stats] {
+    return Metrics{
+        {"scans", static_cast<std::int64_t>(stats->scans().size())}};
+  });
+  return inst;
 }
 
 TimestampFamily sqrt_oneshot_family() {
@@ -202,9 +228,9 @@ TimestampFamily sqrt_oneshot_family() {
                                             nullptr, nullptr);
     };
   };
-  fam.run_threaded = [](const ScenarioSpec& spec) {
-    run_alg4_threaded(spec,
-                      core::sqrt_oneshot_registers(spec.total_calls()));
+  fam.make_native = [](const ScenarioSpec& spec) {
+    return make_alg4_native(spec,
+                            core::sqrt_oneshot_registers(spec.total_calls()));
   };
   return fam;
 }
@@ -244,9 +270,9 @@ TimestampFamily growing_oneshot_family() {
                                                nullptr, nullptr);
     };
   };
-  fam.run_threaded = [](const ScenarioSpec& spec) {
-    run_alg4_threaded(spec, core::growing_pool_registers(
-                                static_cast<int>(spec.total_calls())));
+  fam.make_native = [](const ScenarioSpec& spec) {
+    return make_alg4_native(spec, core::growing_pool_registers(
+                                      static_cast<int>(spec.total_calls())));
   };
   return fam;
 }
@@ -283,19 +309,41 @@ TimestampFamily fetchadd_family() {
   fam.factory = [](const ScenarioSpec& spec) {
     return core::fetchadd_factory(spec.n, spec.calls_per_process);
   };
-  fam.run_threaded = [](const ScenarioSpec& spec) {
-    Threaded<std::int64_t> harness(1, 0);
-    std::vector<Threaded<std::int64_t>::Program> programs;
+  fam.make_native = [](const ScenarioSpec& spec)
+      -> std::unique_ptr<FamilyInstance> {
+    auto inst = std::make_unique<native::TypedNativeInstance<
+        std::int64_t, std::int64_t, core::Compare>>(spec.n);
+    std::vector<NativeSys<std::int64_t>::Program> programs;
     for (int p = 0; p < spec.n; ++p) {
+      auto* arena = &inst->recorder().arena(p);
       programs.push_back(
-          [p, spec](atomicmem::DirectCtx<std::int64_t>& ctx) {
+          [p, spec, arena](atomicmem::DirectCtx<std::int64_t>& ctx) {
             return core::fetchadd_program(ctx, p, spec.calls_per_process,
-                                          nullptr);
+                                          arena);
           });
     }
-    harness.run(programs);
+    inst->adopt(std::make_unique<NativeSys<std::int64_t>>(
+        1, 0, std::move(programs)));
+    return inst;
   };
   return fam;
+}
+
+/// The bounded family's obligation filter for modulus `k`. When the window
+/// covers the whole execution (K >= 2*calls + 1, the auto default) the
+/// UNCONDITIONAL property must hold — same bar as the unbounded families, so
+/// no pair filter. Only a deliberately small universe_bound puts the run in
+/// the recycling regime, where ordered pairs outside the window carry no
+/// obligation. Shared by the simulated and native instance builders.
+PairFilter<core::BoundedTimestamp> bounded_filter(const ScenarioSpec& spec,
+                                                  std::int32_t k) {
+  if (core::bounded_window(k) >= spec.calls_per_process) return nullptr;
+  return [k](const std::vector<runtime::CallRecord<core::BoundedTimestamp>>&
+                 all,
+             const runtime::CallRecord<core::BoundedTimestamp>& a,
+             const runtime::CallRecord<core::BoundedTimestamp>& b) {
+    return core::bounded_pair_within_window(all, a, b, k);
+  };
 }
 
 TimestampFamily bounded_family() {
@@ -325,23 +373,8 @@ TimestampFamily bounded_family() {
     using Instance = TypedFamilyInstance<
         core::BoundedLabel, core::BoundedTimestamp, core::BoundedCompare>;
     const std::int32_t k = bounded_modulus(spec);
-    // When the window covers the whole execution (K >= 2*calls + 1, the
-    // auto default) the UNCONDITIONAL property must hold — same bar as the
-    // unbounded families, so no pair filter. Only a deliberately small
-    // universe_bound puts the run in the recycling regime, where ordered
-    // pairs outside the window carry no obligation.
-    Instance::PairFilter filter = nullptr;
-    if (core::bounded_window(k) < spec.calls_per_process) {
-      filter =
-          [k](const std::vector<runtime::CallRecord<core::BoundedTimestamp>>&
-                  all,
-              const runtime::CallRecord<core::BoundedTimestamp>& a,
-              const runtime::CallRecord<core::BoundedTimestamp>& b) {
-            return core::bounded_pair_within_window(all, a, b, k);
-          };
-    }
-    auto inst =
-        std::make_unique<Instance>(core::BoundedCompare{}, std::move(filter));
+    auto inst = std::make_unique<Instance>(core::BoundedCompare{},
+                                           bounded_filter(spec, k));
     auto stats = std::make_shared<core::BoundedStats>();
     inst->adopt(core::make_bounded_system(spec.n, spec.calls_per_process, k,
                                           &inst->log(), stats.get()));
@@ -356,19 +389,32 @@ TimestampFamily bounded_family() {
     return core::bounded_factory(spec.n, spec.calls_per_process,
                                  spec.universe_bound);
   };
-  fam.run_threaded = [](const ScenarioSpec& spec) {
+  fam.make_native = [](const ScenarioSpec& spec)
+      -> std::unique_ptr<FamilyInstance> {
     const std::int32_t k = bounded_modulus(spec);
-    Threaded<core::BoundedLabel> harness(spec.n, core::BoundedLabel{});
-    std::vector<Threaded<core::BoundedLabel>::Program> programs;
+    auto inst = std::make_unique<native::TypedNativeInstance<
+        core::BoundedLabel, core::BoundedTimestamp, core::BoundedCompare>>(
+        spec.n, core::BoundedCompare{}, bounded_filter(spec, k));
+    auto stats = std::make_shared<core::BoundedStats>();
+    std::vector<NativeSys<core::BoundedLabel>::Program> programs;
     for (int p = 0; p < spec.n; ++p) {
+      auto* arena = &inst->recorder().arena(p);
       programs.push_back(
-          [p, spec, k](atomicmem::DirectCtx<core::BoundedLabel>& ctx) {
+          [p, spec, k, arena,
+           stats](atomicmem::DirectCtx<core::BoundedLabel>& ctx) {
             return core::bounded_program(ctx, p, spec.n, k,
-                                         spec.calls_per_process, nullptr,
-                                         nullptr);
+                                         spec.calls_per_process, arena,
+                                         stats.get());
           });
     }
-    harness.run(programs);
+    inst->adopt(std::make_unique<NativeSys<core::BoundedLabel>>(
+        spec.n, core::BoundedLabel{}, std::move(programs)));
+    inst->set_metrics([stats] {
+      return Metrics{
+          {"wraps", static_cast<std::int64_t>(stats->wraps())},
+          {"collects", static_cast<std::int64_t>(stats->collects())}};
+    });
+    return inst;
   };
   return fam;
 }

@@ -28,6 +28,19 @@ enum class Lifetime : std::uint8_t {
   return lt == Lifetime::kOneShot ? "one-shot" : "long-lived";
 }
 
+/// Which execution engine runs the scenario. The simulator interleaves
+/// coroutine steps under a deterministic scheduler; the native backend runs
+/// the same programs on real OS threads (src/native/) and checks the
+/// recorded history post-hoc.
+enum class Backend : std::uint8_t {
+  kSim,     ///< deterministic coroutine simulator (runtime::System<V>)
+  kNative,  ///< real threads over atomicmem::AtomicMemory<V>
+};
+
+[[nodiscard]] constexpr const char* backend_name(Backend b) {
+  return b == Backend::kSim ? "sim" : "native";
+}
+
 /// Parameters of one scenario: which system to build and how big.
 struct ScenarioSpec {
   int n = 2;                   ///< number of processes
@@ -45,6 +58,14 @@ struct ScenarioSpec {
   /// 0 = keep whatever the schedule source's ExploreOptions carry; > 0
   /// overrides them for this scenario. Ignored by driver-based sources.
   int explore_threads = 0;
+  /// Execution engine. kNative requires the api::native_os() schedule source
+  /// (the OS is the scheduler — driver/crash/jitter/fuzzer/exhaustive
+  /// sources are simulator concepts) and ignores `recording`: native
+  /// histories are checked post-hoc, never replayed.
+  Backend backend = Backend::kSim;
+  /// Worker threads for backend = kNative (<= 0: hardware concurrency).
+  /// Requests beyond the core count are honored — the OS time-slices.
+  int native_threads = 0;
 
   [[nodiscard]] std::int64_t total_calls() const {
     return static_cast<std::int64_t>(n) * calls_per_process;

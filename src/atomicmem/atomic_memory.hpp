@@ -11,17 +11,23 @@
 //  - trivially-copyable V of at most 8 bytes: a plain std::atomic<V>;
 //  - anything else (e.g. core::TsRecord): an atomic pointer to an immutable
 //    heap node. Writers allocate a node, exchange it in, and push the old
-//    node onto a Treiber retirement stack that is reclaimed only on
-//    destruction, so readers can dereference without hazard tracking.
-//    Memory use grows with the number of writes, which is bounded in every
-//    benchmark and test (Algorithm 4 performs at most m writes per call).
+//    node onto a Treiber retirement stack.
+//
+// Reclamation. Retired nodes used to be freed only at destruction, so long
+// native runs grew memory with write count. They are now reclaimed by a
+// global epoch domain (detail::EpochDomain): readers pin the current epoch
+// around every dereferencing access, retirees are stamped with the epoch at
+// unlink time, and writers trim the stacks once kTrimThreshold retirees are
+// outstanding — freeing exactly the nodes stamped before every pinned
+// epoch. quiesce() (the native backend calls it after joining its workers)
+// frees everything unconditionally. retired_nodes() / arena_bytes() expose
+// the accounting.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -36,6 +42,152 @@ namespace detail {
 template <class V>
 inline constexpr bool kInlineAtomic =
     std::is_trivially_copyable_v<V> && sizeof(V) <= 8;
+
+/// Process-wide epoch domain for node-cell reclamation, shared by every
+/// AtomicMemory instance (epochs are per-thread facts, not per-memory ones).
+/// A thread pins the current global epoch in its own cache-line-padded slot
+/// for the duration of one dereferencing access; trimmers free a retired
+/// node only when its retirement epoch precedes every pinned epoch.
+///
+/// Safety argument (all epoch traffic is seq_cst, so one total order): a
+/// reader that still holds node N announced its pin BEFORE loading N from
+/// the cell, which is before the write that unlinked N, which is before N's
+/// retirement push. A trimmer drains the retirement stack FIRST and scans
+/// the pin slots after, so draining N places the scan after the reader's
+/// announcement in the total order — the scan must observe that pin (or a
+/// later one by the same thread), and min_pinned() <= pin epoch <= N's
+/// retirement epoch keeps N alive. The unpin store / pin-scan load pair on
+/// the slot also gives TSan the happens-before edge from the reader's last
+/// dereference to the eventual free.
+class EpochDomain {
+ public:
+  /// Upper bound on threads concurrently touching node-cell memories. Slots
+  /// are leased per thread and released at thread exit, so this bounds live
+  /// threads, not lifetime thread count.
+  static constexpr int kMaxSlots = 256;
+  /// min_pinned() result when no thread is pinned: every retiree is free.
+  static constexpr std::uint64_t kNoPins = ~std::uint64_t{0};
+
+  [[nodiscard]] static EpochDomain& instance() {
+    // Leaked deliberately: thread_local leases of detached or late-exiting
+    // threads may release their slot after static destruction has begun.
+    static EpochDomain* const domain = new EpochDomain();
+    return *domain;
+  }
+
+  /// RAII pin: announces the current global epoch in the calling thread's
+  /// slot. Re-entrant (nested pins keep the outermost announcement).
+  class Pin {
+   public:
+    // Bodies follow Lease's definition below (it is only declared here).
+    inline Pin();
+    inline ~Pin();
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+   private:
+    struct Lease;
+    friend class EpochDomain;
+
+    [[nodiscard]] static inline Lease& thread_lease();
+
+    Lease& lease_;
+  };
+
+  /// Epoch stamped onto a node at retirement.
+  [[nodiscard]] std::uint64_t retire_epoch() const {
+    return global_.load(std::memory_order_seq_cst);
+  }
+
+  /// Minimum epoch announced by any pinned thread (kNoPins when idle).
+  /// Trimmers MUST drain retirement stacks before calling this — see the
+  /// class comment's ordering argument.
+  [[nodiscard]] std::uint64_t min_pinned() const {
+    std::uint64_t min = kNoPins;
+    for (const Slot& s : slots_) {
+      const std::uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < min) min = e;
+    }
+    return min;
+  }
+
+  /// Advances the global epoch once every pinned thread has observed the
+  /// current one, so retirees of successive trim rounds age out: a node
+  /// stamped in round k becomes reclaimable when all pins reach round k+1.
+  void try_advance() {
+    std::uint64_t g = global_.load(std::memory_order_seq_cst);
+    for (const Slot& s : slots_) {
+      const std::uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < g) return;
+    }
+    global_.compare_exchange_strong(g, g + 1, std::memory_order_seq_cst);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};  ///< announced epoch; 0 = idle
+    std::atomic<bool> claimed{false};
+  };
+
+  EpochDomain() = default;
+
+  std::atomic<std::uint64_t> global_{1};
+  std::array<Slot, kMaxSlots> slots_{};
+};
+
+struct EpochDomain::Pin::Lease {
+  Slot* slot = nullptr;
+  int depth = 0;
+
+  Lease() {
+    for (Slot& s : instance().slots_) {
+      bool expected = false;
+      if (s.claimed.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+        slot = &s;
+        return;
+      }
+    }
+    STAMPED_ASSERT_MSG(false, "more than " << kMaxSlots
+                                           << " threads concurrently pinned "
+                                              "in the epoch domain");
+  }
+  ~Lease() {
+    if (slot != nullptr) {
+      slot->epoch.store(0, std::memory_order_seq_cst);
+      slot->claimed.store(false, std::memory_order_release);
+    }
+  }
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+};
+
+inline EpochDomain::Pin::Lease& EpochDomain::Pin::thread_lease() {
+  thread_local Lease lease;
+  return lease;
+}
+
+inline EpochDomain::Pin::Pin() : lease_(thread_lease()) {
+  if (lease_.depth++ == 0) {
+    lease_.slot->epoch.store(instance().global_.load(std::memory_order_seq_cst),
+                             std::memory_order_seq_cst);
+  }
+}
+
+inline EpochDomain::Pin::~Pin() {
+  if (--lease_.depth == 0) {
+    lease_.slot->epoch.store(0, std::memory_order_seq_cst);
+  }
+}
+
+/// Shared allocation/retirement accounting of one AtomicMemory's node cells
+/// (retired_nodes() / arena_bytes() read these; trivially zero for inline
+/// cells, which never allocate).
+struct ReclaimCounters {
+  std::atomic<std::uint64_t> allocated{0};
+  std::atomic<std::uint64_t> retired{0};
+  std::atomic<std::uint64_t> reclaimed{0};
+};
 
 /// Cell for small trivially copyable values. Plain loads stay single atomic
 /// ops (wait-free); writes additionally maintain a seqlock-style version
@@ -114,28 +266,34 @@ class AtomicCell {
 };
 
 /// Pointer-swap cell for arbitrary (copyable) values. Old nodes are retired
-/// to a Treiber stack and freed on destruction. Versioning is free here:
-/// every write installs a fresh immutable node carrying a unique version, so
-/// load_versioned() is one pointer load, and equal versions across two loads
-/// imply the same node — hence no intervening write (nodes are never
-/// re-installed).
+/// to a Treiber stack and reclaimed by epoch (see EpochDomain): callers pin
+/// around dereferencing accesses; the owning AtomicMemory drains and frees.
+/// Versioning is free here: every write installs a fresh immutable node
+/// carrying a unique version, so load_versioned() is one pointer load, and
+/// equal versions across two loads imply the same node — hence no
+/// intervening write (nodes are never re-installed).
 template <class V>
 class AtomicCell<V, false> {
  public:
-  explicit AtomicCell(const V& initial)
-      : current_(new Node{initial, 0, nullptr}) {}
+  struct Node {
+    V value;
+    std::uint64_t version;
+    std::uint64_t epoch;  ///< EpochDomain epoch at retirement (0 while live)
+    Node* next;
+  };
+
+  AtomicCell(const V& initial, ReclaimCounters* counters)
+      : current_(new Node{initial, 0, 0, nullptr}), counters_(counters) {
+    counters_->allocated.fetch_add(1, std::memory_order_relaxed);
+  }
 
   AtomicCell(const AtomicCell&) = delete;
   AtomicCell& operator=(const AtomicCell&) = delete;
 
   ~AtomicCell() {
+    reclaim(drain_retired(), EpochDomain::kNoPins);
     delete current_.load(std::memory_order_relaxed);
-    Node* node = retired_.load(std::memory_order_relaxed);
-    while (node != nullptr) {
-      Node* next = node->next;
-      delete node;
-      node = next;
-    }
+    counters_->reclaimed.fetch_add(1, std::memory_order_relaxed);
   }
 
   [[nodiscard]] V load() const {
@@ -156,34 +314,69 @@ class AtomicCell<V, false> {
     return result;
   }
 
- private:
-  struct Node {
-    V value;
-    std::uint64_t version;
-    Node* next;
-  };
+  /// Pops the whole retirement stack; each trimmer owns what it pops, so
+  /// concurrent trims never double-free.
+  [[nodiscard]] Node* drain_retired() {
+    return retired_.exchange(nullptr, std::memory_order_seq_cst);
+  }
 
+  /// Frees every drained node stamped before `min_pinned_epoch`; survivors
+  /// are spliced back onto the stack for a later trim round.
+  void reclaim(Node* head, std::uint64_t min_pinned_epoch) {
+    Node* survivors = nullptr;
+    Node* survivors_tail = nullptr;
+    std::uint64_t freed = 0;
+    while (head != nullptr) {
+      Node* next = head->next;
+      if (head->epoch < min_pinned_epoch) {
+        delete head;
+        ++freed;
+      } else {
+        head->next = survivors;
+        if (survivors == nullptr) survivors_tail = head;
+        survivors = head;
+      }
+      head = next;
+    }
+    if (freed > 0) {
+      counters_->reclaimed.fetch_add(freed, std::memory_order_relaxed);
+    }
+    if (survivors != nullptr) {
+      Node* cur = retired_.load(std::memory_order_relaxed);
+      do {
+        survivors_tail->next = cur;
+      } while (!retired_.compare_exchange_weak(cur, survivors,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+    }
+  }
+
+ private:
   Node* swap_in(V v) {
     // Versions are unique per node (fetch_add), which is all load_versioned
     // needs; they need not be installation-ordered under concurrent writers.
     Node* fresh = new Node{
         std::move(v), versions_.fetch_add(1, std::memory_order_seq_cst) + 1,
-        nullptr};
+        0, nullptr};
+    counters_->allocated.fetch_add(1, std::memory_order_relaxed);
     return current_.exchange(fresh, std::memory_order_seq_cst);
   }
 
   void retire(Node* node) {
+    node->epoch = EpochDomain::instance().retire_epoch();
     Node* head = retired_.load(std::memory_order_relaxed);
     do {
       node->next = head;
     } while (!retired_.compare_exchange_weak(head, node,
                                              std::memory_order_release,
                                              std::memory_order_relaxed));
+    counters_->retired.fetch_add(1, std::memory_order_relaxed);
   }
 
   std::atomic<Node*> current_;
   std::atomic<Node*> retired_{nullptr};
   std::atomic<std::uint64_t> versions_{0};
+  ReclaimCounters* counters_;
 };
 
 }  // namespace detail
@@ -192,11 +385,21 @@ class AtomicCell<V, false> {
 template <class V>
 class AtomicMemory {
  public:
+  /// Outstanding retired nodes that trigger a writer-driven trim. The
+  /// epoch-counted trim keeps retirement bounded near this (two trim rounds
+  /// in the worst case — retirees of the current epoch survive one round).
+  static constexpr std::uint64_t kTrimThreshold = 512;
+
   AtomicMemory(int num_registers, const V& initial) {
     STAMPED_ASSERT(num_registers > 0);
     cells_.reserve(static_cast<std::size_t>(num_registers));
     for (int i = 0; i < num_registers; ++i) {
-      cells_.push_back(std::make_unique<detail::AtomicCell<V>>(initial));
+      if constexpr (detail::kInlineAtomic<V>) {
+        cells_.push_back(std::make_unique<detail::AtomicCell<V>>(initial));
+      } else {
+        cells_.push_back(
+            std::make_unique<detail::AtomicCell<V>>(initial, &counters_));
+      }
     }
   }
 
@@ -204,13 +407,34 @@ class AtomicMemory {
     return static_cast<int>(cells_.size());
   }
 
-  [[nodiscard]] V read(int reg) const { return cell(reg).load(); }
-  [[nodiscard]] runtime::Versioned<V> versioned_read(int reg) const {
-    return cell(reg).load_versioned();
+  // Only the dereferencing accesses pin: loads follow the current-node
+  // pointer of node cells, so the node must outlive the copy-out. Writers
+  // touch no shared node (store allocates; swap dereferences only the node
+  // it unlinked itself, which nobody else can retire).
+  [[nodiscard]] V read(int reg) const {
+    if constexpr (detail::kInlineAtomic<V>) {
+      return cell(reg).load();
+    } else {
+      detail::EpochDomain::Pin pin;
+      return cell(reg).load();
+    }
   }
-  void write(int reg, V v) { cell(reg).store(std::move(v)); }
+  [[nodiscard]] runtime::Versioned<V> versioned_read(int reg) const {
+    if constexpr (detail::kInlineAtomic<V>) {
+      return cell(reg).load_versioned();
+    } else {
+      detail::EpochDomain::Pin pin;
+      return cell(reg).load_versioned();
+    }
+  }
+  void write(int reg, V v) {
+    cell(reg).store(std::move(v));
+    maybe_trim();
+  }
   [[nodiscard]] V swap(int reg, V v) {
-    return cell(reg).exchange(std::move(v));
+    V old = cell(reg).exchange(std::move(v));
+    maybe_trim();
+    return old;
   }
   [[nodiscard]] V fetch_add(int reg, V addend)
     requires std::is_arithmetic_v<V>
@@ -218,7 +442,68 @@ class AtomicMemory {
     return cell(reg).fetch_add(addend);
   }
 
+  /// Retired nodes not yet reclaimed (0 for inline-cell memories).
+  [[nodiscard]] std::uint64_t retired_nodes() const {
+    if constexpr (detail::kInlineAtomic<V>) {
+      return 0;
+    } else {
+      return counters_.retired.load(std::memory_order_relaxed) -
+             counters_.reclaimed.load(std::memory_order_relaxed);
+    }
+  }
+
+  /// Heap bytes held by node cells — current nodes plus the unreclaimed
+  /// retirement backlog (0 for inline-cell memories, which allocate nothing).
+  [[nodiscard]] std::uint64_t arena_bytes() const {
+    if constexpr (detail::kInlineAtomic<V>) {
+      return 0;
+    } else {
+      const std::uint64_t live =
+          counters_.allocated.load(std::memory_order_relaxed) -
+          counters_.reclaimed.load(std::memory_order_relaxed);
+      return live * sizeof(typename detail::AtomicCell<V>::Node);
+    }
+  }
+
+  /// Quiesce point: frees every retired node unconditionally. The caller
+  /// certifies no thread is concurrently accessing this memory — the native
+  /// backend calls this after joining its workers.
+  void quiesce() {
+    if constexpr (!detail::kInlineAtomic<V>) {
+      for (auto& c : cells_) {
+        c->reclaim(c->drain_retired(), detail::EpochDomain::kNoPins);
+      }
+    }
+  }
+
  private:
+  void maybe_trim() {
+    if constexpr (!detail::kInlineAtomic<V>) {
+      const std::uint64_t outstanding =
+          counters_.retired.load(std::memory_order_relaxed) -
+          counters_.reclaimed.load(std::memory_order_relaxed);
+      if (outstanding >= kTrimThreshold) trim_retired();
+    }
+  }
+
+  /// Epoch-counted trim. Drain-before-scan is the safety hinge: a node
+  /// drained here was retired — hence unlinked — before the pin scan ran, so
+  /// any reader still dereferencing it announced its pin before the unlink
+  /// and min_pinned() observes that pin (see EpochDomain).
+  void trim_retired() {
+    if constexpr (!detail::kInlineAtomic<V>) {
+      auto& dom = detail::EpochDomain::instance();
+      dom.try_advance();
+      std::vector<typename detail::AtomicCell<V>::Node*> drained;
+      drained.reserve(cells_.size());
+      for (auto& c : cells_) drained.push_back(c->drain_retired());
+      const std::uint64_t min = dom.min_pinned();
+      for (std::size_t i = 0; i < cells_.size(); ++i) {
+        cells_[i]->reclaim(drained[i], min);
+      }
+    }
+  }
+
   detail::AtomicCell<V>& cell(int reg) {
     STAMPED_ASSERT(reg >= 0 && reg < num_registers());
     return *cells_[static_cast<std::size_t>(reg)];
@@ -228,6 +513,9 @@ class AtomicMemory {
     return *cells_[static_cast<std::size_t>(reg)];
   }
 
+  // counters_ precedes cells_: cell destructors update the counters, so the
+  // counters must be destroyed after the cells.
+  detail::ReclaimCounters counters_;
   std::vector<std::unique_ptr<detail::AtomicCell<V>>> cells_;
 };
 
@@ -308,62 +596,6 @@ class DirectCtx {
   std::atomic<std::uint64_t>* clock_;
   std::uint64_t ops_ = 0;
   std::uint64_t calls_ = 0;
-};
-
-/// Runs one program per thread against a shared AtomicMemory. Each thread
-/// constructs its coroutine and resumes it once; with DirectCtx the coroutine
-/// runs to completion synchronously. Propagates the first program exception.
-template <class V>
-class ThreadedHarness {
- public:
-  using Program = std::function<runtime::ProcessTask(DirectCtx<V>&)>;
-
-  ThreadedHarness(int num_registers, const V& initial)
-      : mem_(num_registers, initial) {}
-
-  [[nodiscard]] AtomicMemory<V>& memory() { return mem_; }
-  [[nodiscard]] std::uint64_t clock() const {
-    return clock_.load(std::memory_order_acquire);
-  }
-
-  /// Runs all programs concurrently (programs[i] gets pid i); returns after
-  /// every thread joined. Throws the first captured exception, if any.
-  void run(const std::vector<Program>& programs) {
-    const int n = static_cast<int>(programs.size());
-    std::vector<std::unique_ptr<DirectCtx<V>>> ctxs;
-    ctxs.reserve(static_cast<std::size_t>(n));
-    for (int p = 0; p < n; ++p) {
-      ctxs.push_back(std::make_unique<DirectCtx<V>>(&mem_, p, &clock_));
-    }
-    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
-    {
-      std::vector<std::jthread> threads;
-      threads.reserve(static_cast<std::size_t>(n));
-      for (int p = 0; p < n; ++p) {
-        threads.emplace_back([&, p] {
-          try {
-            runtime::ProcessTask task =
-                programs[static_cast<std::size_t>(p)](*ctxs[static_cast<std::size_t>(p)]);
-            task.handle().resume();
-            STAMPED_ASSERT_MSG(task.done(),
-                               "program suspended under DirectCtx");
-            if (task.exception()) {
-              errors[static_cast<std::size_t>(p)] = task.exception();
-            }
-          } catch (...) {
-            errors[static_cast<std::size_t>(p)] = std::current_exception();
-          }
-        });
-      }
-    }
-    for (auto& err : errors) {
-      if (err) std::rethrow_exception(err);
-    }
-  }
-
- private:
-  AtomicMemory<V> mem_;
-  std::atomic<std::uint64_t> clock_{0};
 };
 
 }  // namespace stamped::atomicmem

@@ -158,10 +158,11 @@ class BoundedStats {
 
 /// One getTS() by process `pid` in an n-process bounded system; awaitable so
 /// long-lived programs chain calls. Returns the vector timestamp.
-template <class Ctx>
-runtime::SubTask<BoundedTimestamp> bounded_getts(
-    Ctx& ctx, int pid, int n, std::int32_t modulus, int call_index,
-    runtime::CallLog<BoundedTimestamp>* log, BoundedStats* stats) {
+template <class Ctx, class Log>
+runtime::SubTask<BoundedTimestamp> bounded_getts(Ctx& ctx, int pid, int n,
+                                                 std::int32_t modulus,
+                                                 int call_index, Log* log,
+                                                 BoundedStats* stats) {
   const std::uint64_t invoked = ctx.stamp();
   // Version-clock scan: O(n) integer comparison per double collect instead
   // of O(n) label comparisons, same step count (every recycling write ticks
@@ -191,11 +192,10 @@ runtime::SubTask<BoundedTimestamp> bounded_getts(
 }
 
 /// Long-lived program: process `pid` performs `num_calls` getTS calls.
-template <class Ctx>
+template <class Ctx, class Log>
 runtime::ProcessTask bounded_program(Ctx& ctx, int pid, int n,
                                      std::int32_t modulus, int num_calls,
-                                     runtime::CallLog<BoundedTimestamp>* log,
-                                     BoundedStats* stats) {
+                                     Log* log, BoundedStats* stats) {
   for (int k = 0; k < num_calls; ++k) {
     co_await bounded_getts(ctx, pid, n, modulus, k, log, stats);
   }

@@ -44,9 +44,9 @@ class FetchAddTimestamp {
 /// One getTS() via the shared counter in register 0: a single fetch&add step.
 /// The returned timestamp old+1 is strictly increasing across all calls, so
 /// the timestamp property holds unconditionally.
-template <class Ctx>
-runtime::SubTask<std::int64_t> fetchadd_getts(
-    Ctx& ctx, int pid, int call_index, runtime::CallLog<std::int64_t>* log) {
+template <class Ctx, class Log>
+runtime::SubTask<std::int64_t> fetchadd_getts(Ctx& ctx, int pid,
+                                              int call_index, Log* log) {
   const std::uint64_t invoked = ctx.stamp();
   const std::int64_t t = (co_await ctx.fetch_add(0, std::int64_t{1})) + 1;
   if (log != nullptr) {
@@ -57,9 +57,9 @@ runtime::SubTask<std::int64_t> fetchadd_getts(
 }
 
 /// Long-lived program: process `pid` performs `num_calls` getTS calls.
-template <class Ctx>
+template <class Ctx, class Log>
 runtime::ProcessTask fetchadd_program(Ctx& ctx, int pid, int num_calls,
-                                      runtime::CallLog<std::int64_t>* log) {
+                                      Log* log) {
   for (int k = 0; k < num_calls; ++k) {
     co_await fetchadd_getts(ctx, pid, k, log);
   }

@@ -32,11 +32,12 @@
 namespace stamped::core {
 
 /// One getTS() by process `pid` in an n-process max-scan object; awaitable so
-/// long-lived programs chain calls. Returns the timestamp.
-template <class Ctx>
-runtime::SubTask<std::int64_t> maxscan_getts(
-    Ctx& ctx, int pid, int n, int call_index,
-    runtime::CallLog<std::int64_t>* log) {
+/// long-lived programs chain calls. Returns the timestamp. `Log` is any
+/// recorder of CallRecord<int64_t> — runtime::CallLog on the simulator,
+/// native::CallArena on real threads.
+template <class Ctx, class Log>
+runtime::SubTask<std::int64_t> maxscan_getts(Ctx& ctx, int pid, int n,
+                                             int call_index, Log* log) {
   const std::uint64_t invoked = ctx.stamp();
   std::int64_t mx = 0;
   for (int i = 0; i < n; ++i) {
@@ -52,9 +53,9 @@ runtime::SubTask<std::int64_t> maxscan_getts(
 }
 
 /// Long-lived program: process `pid` performs `num_calls` getTS calls.
-template <class Ctx>
+template <class Ctx, class Log>
 runtime::ProcessTask maxscan_program(Ctx& ctx, int pid, int n, int num_calls,
-                                     runtime::CallLog<std::int64_t>* log) {
+                                     Log* log) {
   for (int k = 0; k < num_calls; ++k) {
     co_await maxscan_getts(ctx, pid, n, k, log);
   }

@@ -33,10 +33,10 @@ namespace stamped::core {
 [[nodiscard]] constexpr int simple_own_register(int pid) { return pid / 2; }
 
 /// One simple-getTS() call by process `pid` in an n-process system
-/// (Algorithm 2). Appends the returned integer timestamp to `log` if non-null.
-template <class Ctx>
-runtime::ProcessTask simple_getts_program(Ctx& ctx, int pid, int n,
-                                          runtime::CallLog<std::int64_t>* log) {
+/// (Algorithm 2). Appends the returned integer timestamp to `log` if non-null
+/// (`Log` is runtime::CallLog or native::CallArena).
+template <class Ctx, class Log>
+runtime::ProcessTask simple_getts_program(Ctx& ctx, int pid, int n, Log* log) {
   const std::uint64_t invoked = ctx.stamp();
   const int m = simple_oneshot_registers(n);
   const int own = simple_own_register(pid);

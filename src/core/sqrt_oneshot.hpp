@@ -103,11 +103,12 @@ class SqrtStats {
 /// One getTS(ID) call (Algorithm 4), awaitable so that callers can chain
 /// multiple calls (the bounded-M generalization). Returns the timestamp.
 /// `m` is the register count; the system must perform at most M total calls
-/// with sqrt_oneshot_registers(M) <= m. `log` and `stats` may be null.
-template <class Ctx>
+/// with sqrt_oneshot_registers(M) <= m. `log` and `stats` may be null (`Log`
+/// is runtime::CallLog or native::CallArena over PairTimestamp).
+template <class Ctx, class Log>
 runtime::SubTask<PairTimestamp> sqrt_getts(
-    Ctx& ctx, TsId id, int m, runtime::CallLog<PairTimestamp>* log,
-    SqrtStats* stats, SqrtVariant variant = SqrtVariant::kPaper) {
+    Ctx& ctx, TsId id, int m, Log* log, SqrtStats* stats,
+    SqrtVariant variant = SqrtVariant::kPaper) {
   const std::uint64_t invoked = ctx.stamp();
   const std::uint64_t steps_before = ctx.my_steps();
 
@@ -208,19 +209,17 @@ runtime::SubTask<PairTimestamp> sqrt_getts(
 /// functions, not capturing lambdas, because coroutine parameters are copied
 /// into the frame while lambda captures live in the (short-lived) closure
 /// object.
-template <class Ctx>
-runtime::ProcessTask sqrt_getts_program(Ctx& ctx, TsId id, int m,
-                                        runtime::CallLog<PairTimestamp>* log,
+template <class Ctx, class Log>
+runtime::ProcessTask sqrt_getts_program(Ctx& ctx, TsId id, int m, Log* log,
                                         SqrtStats* stats,
                                         SqrtVariant variant = SqrtVariant::kPaper) {
   co_await sqrt_getts(ctx, id, m, log, stats, variant);
 }
 
 /// Program performing `calls` consecutive getTS calls (IDs "pid.k").
-template <class Ctx>
+template <class Ctx, class Log>
 runtime::ProcessTask sqrt_calls_program(Ctx& ctx, int pid, int calls, int m,
-                                        runtime::CallLog<PairTimestamp>* log,
-                                        SqrtStats* stats,
+                                        Log* log, SqrtStats* stats,
                                         SqrtVariant variant = SqrtVariant::kPaper) {
   for (int k = 0; k < calls; ++k) {
     co_await sqrt_getts(ctx, TsId{pid, k}, m, log, stats, variant);

@@ -1,0 +1,78 @@
+// TypedNativeInstance: the native counterpart of api::TypedFamilyInstance.
+//
+// A native instance owns the history recorder that its programs write into
+// and the NativeSystem that runs them — construction is two-phase like the
+// simulated instance (programs capture arena pointers into the recorder, so
+// the recorder must exist first):
+//   auto inst = std::make_unique<TypedNativeInstance<V, Ts, Cmp>>(spec.n);
+//   ... build programs capturing &inst->recorder().arena(p) ...
+//   inst->adopt(std::make_unique<NativeSystem<V>>(regs, initial, programs));
+// The harness drives it through the FamilyInstance virtuals: run_native()
+// executes the pool and returns stats; calls() merges the arenas into the
+// same GenericCallLog shape the checkers consume for simulated runs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "api/family.hpp"
+#include "native/native_system.hpp"
+#include "native/recorder.hpp"
+#include "util/assert.hpp"
+
+namespace stamped::native {
+
+template <class V, class Ts, class Cmp>
+class TypedNativeInstance final : public api::FamilyInstance {
+ public:
+  using Filter = api::PairFilter<Ts>;
+
+  explicit TypedNativeInstance(int n, Cmp cmp = {}, Filter filter = nullptr)
+      : recorder_(n), cmp_(std::move(cmp)), filter_(std::move(filter)) {}
+
+  [[nodiscard]] HistoryRecorder<Ts>& recorder() { return recorder_; }
+
+  void adopt(std::unique_ptr<NativeSystem<V>> sys) {
+    native_sys_ = std::move(sys);
+  }
+
+  void set_metrics(std::function<api::Metrics()> fn) {
+    metrics_fn_ = std::move(fn);
+  }
+
+  [[nodiscard]] bool native() const override { return true; }
+
+  api::NativeRunStats run_native(int threads) override {
+    STAMPED_ASSERT_MSG(native_sys_ != nullptr,
+                       "native instance has no adopted NativeSystem");
+    RunStats raw = native_sys_->run(threads);
+    api::NativeRunStats stats;
+    stats.threads = raw.threads;
+    stats.elapsed_seconds = raw.elapsed_seconds;
+    stats.ops = raw.ops;
+    stats.calls = raw.calls;
+    stats.per_thread_calls = std::move(raw.per_thread_calls);
+    stats.retired_nodes = raw.retired_nodes;
+    stats.memory_arena_bytes = raw.memory_arena_bytes;
+    stats.recorder_arena_bytes = recorder_.arena_bytes();
+    return stats;
+  }
+
+  [[nodiscard]] api::GenericCallLog calls() const override {
+    return api::erase_call_log<Ts>(recorder_.merged(), cmp_, filter_);
+  }
+
+  [[nodiscard]] api::Metrics metrics() const override {
+    return metrics_fn_ ? metrics_fn_() : api::Metrics{};
+  }
+
+ private:
+  HistoryRecorder<Ts> recorder_;
+  std::unique_ptr<NativeSystem<V>> native_sys_;
+  Cmp cmp_;
+  Filter filter_;
+  std::function<api::Metrics()> metrics_fn_;
+};
+
+}  // namespace stamped::native

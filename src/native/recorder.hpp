@@ -1,0 +1,136 @@
+// Lock-free history recorder for real-thread executions.
+//
+// The simulator's runtime::CallLog takes a mutex per record — fine for a
+// deterministic scheduler stepping one coroutine at a time, but a
+// serialization point that would poison a native throughput measurement (and
+// perturb the very interleavings the run exists to produce). Here each
+// worker appends to its own arena: a chain of fixed-size blocks touched by
+// exactly one thread, so the hot path is a bump-pointer store with no shared
+// state at all. The shared completion clock (DirectCtx::stamp, one atomic
+// fetch_add) is the only cross-thread traffic per call, and it is the same
+// clock that stamps invocations — stamps are therefore unique and totally
+// ordered across threads, which is what lets the merge sort records into the
+// real-time order the checkers need.
+//
+// merged() runs at quiesce, after the worker pool has been joined: plain
+// reads of per-thread arenas with no concurrent writers (the join is the
+// synchronization), then one stable sort by completion stamp. Nothing in the
+// recorder blocks, spins, or retries at any point.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/history.hpp"
+#include "util/assert.hpp"
+
+namespace stamped::native {
+
+/// Single-writer append-only arena of completed-call records. Blocks are
+/// heap-allocated on demand and never moved, so earlier records stay valid
+/// while later ones are appended (no vector reallocation on the hot path).
+template <class Ts>
+class CallArena {
+ public:
+  static constexpr std::size_t kBlockRecords = 256;
+
+  CallArena() = default;
+  CallArena(const CallArena&) = delete;
+  CallArena& operator=(const CallArena&) = delete;
+
+  /// Hot path; caller is the arena's one writer thread.
+  void record(runtime::CallRecord<Ts> rec) {
+    STAMPED_ASSERT_MSG(rec.invoked_at < rec.responded_at,
+                       "call must span at least one event");
+    if (blocks_.empty() || blocks_.back()->used == kBlockRecords) {
+      blocks_.push_back(std::make_unique<Block>());
+    }
+    Block& b = *blocks_.back();
+    b.records[b.used++] = std::move(rec);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    if (blocks_.empty()) return 0;
+    return (blocks_.size() - 1) * kBlockRecords + blocks_.back()->used;
+  }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return blocks_.size() * sizeof(Block);
+  }
+
+  void append_to(std::vector<runtime::CallRecord<Ts>>& out) const {
+    for (const auto& b : blocks_) {
+      for (std::size_t i = 0; i < b->used; ++i) out.push_back(b->records[i]);
+    }
+  }
+
+ private:
+  struct Block {
+    std::array<runtime::CallRecord<Ts>, kBlockRecords> records{};
+    std::size_t used = 0;
+  };
+
+  std::vector<std::unique_ptr<Block>> blocks_;
+};
+
+/// One arena per process. Workers write only their own processes' arenas;
+/// the merge runs after the pool joins (see file comment).
+template <class Ts>
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(int n) {
+    STAMPED_ASSERT(n > 0);
+    arenas_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      arenas_.push_back(std::make_unique<CallArena<Ts>>());
+    }
+  }
+
+  [[nodiscard]] CallArena<Ts>& arena(int pid) {
+    STAMPED_ASSERT(pid >= 0 && pid < static_cast<int>(arenas_.size()));
+    return *arenas_[static_cast<std::size_t>(pid)];
+  }
+
+  /// All records across arenas, sorted by completion stamp. Completion
+  /// stamps come from the shared run clock, so they are unique and the sort
+  /// produces one definite total order (stable_sort for determinism anyway).
+  [[nodiscard]] std::vector<runtime::CallRecord<Ts>> merged() const {
+    std::vector<runtime::CallRecord<Ts>> out;
+    out.reserve(size());
+    for (const auto& a : arenas_) a->append_to(out);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const runtime::CallRecord<Ts>& a,
+                        const runtime::CallRecord<Ts>& b) {
+                       return a.responded_at < b.responded_at;
+                     });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& a : arenas_) total += a->size();
+    return total;
+  }
+
+  [[nodiscard]] std::size_t arena_bytes() const {
+    std::size_t total = 0;
+    for (const auto& a : arenas_) total += a->bytes();
+    return total;
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> per_arena_counts() const {
+    std::vector<std::uint64_t> counts;
+    counts.reserve(arenas_.size());
+    for (const auto& a : arenas_) counts.push_back(a->size());
+    return counts;
+  }
+
+ private:
+  std::vector<std::unique_ptr<CallArena<Ts>>> arenas_;
+};
+
+}  // namespace stamped::native

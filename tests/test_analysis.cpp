@@ -65,7 +65,9 @@ TEST(AnalysisCtx, RecordsMaxscanSwmrFootprint) {
   for (int p = 0; p < n; ++p) {
     analysis::run_to_completion(
         mem, p, [p, n, calls](analysis::AnalysisCtx<std::int64_t>& ctx) {
-          return core::maxscan_program(ctx, p, n, calls, nullptr);
+          return core::maxscan_program(
+              ctx, p, n, calls,
+              static_cast<runtime::CallLog<std::int64_t>*>(nullptr));
         });
   }
   const analysis::AccessMap& map = mem.map();

@@ -5,6 +5,7 @@
 // be hand-wired in test_maxscan / test_simple_oneshot / test_bounded.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -385,6 +386,37 @@ TEST_P(FamilyConformance, TimestampPropertyUnderCoverageFuzzer) {
   EXPECT_EQ(report.calls, 24u * static_cast<std::uint64_t>(
                                     spec.total_calls()))
       << report.summary();
+}
+
+TEST_P(FamilyConformance, NativeBackendSatisfiesProperty) {
+  // The native backend is a first-class peer of the simulator: the same
+  // scenario grid, run on real OS threads over AtomicMemory, with the
+  // recorded history checked by the identical property checkers. Interleaving
+  // comes from the OS scheduler, so repeat each spec a few times; n is capped
+  // (real threads per run are bounded by native_threads anyway, and the
+  // property/checker machinery is size-agnostic).
+  const api::Harness harness;
+  for (api::ScenarioSpec spec : specs()) {
+    if (spec.n > 16) continue;  // keep the battery fast; kinds don't change
+    spec.backend = api::Backend::kNative;
+    spec.native_threads = 4;
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto report = harness.run_scenario(fam(), spec, api::native_os());
+      EXPECT_TRUE(report.ok()) << fam().name << ": " << report.summary();
+      EXPECT_TRUE(report.all_finished) << report.summary();
+      EXPECT_EQ(report.calls,
+                static_cast<std::uint64_t>(spec.total_calls()))
+          << report.summary();
+      EXPECT_EQ(report.native_threads, std::min(4, spec.n))
+          << report.summary();
+      std::uint64_t thread_sum = 0;
+      for (const std::uint64_t c : report.native_thread_calls) {
+        thread_sum += c;
+      }
+      EXPECT_EQ(thread_sum, report.calls) << report.summary();
+      EXPECT_EQ(report.retired_nodes, 0u) << report.summary();
+    }
+  }
 }
 
 TEST(CrashRestartConformance, BoundedLabelRecyclingSurvivesCrashes) {

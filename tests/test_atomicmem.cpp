@@ -11,6 +11,7 @@
 #include "core/simple_oneshot.hpp"
 #include "core/sqrt_oneshot.hpp"
 #include "core/timestamp.hpp"
+#include "native/native_system.hpp"
 #include "verify/hb_checker.hpp"
 
 namespace {
@@ -18,9 +19,9 @@ namespace {
 using namespace stamped;
 using atomicmem::AtomicMemory;
 using atomicmem::DirectCtx;
-using atomicmem::ThreadedHarness;
 using core::PairTimestamp;
 using core::TsRecord;
+using native::NativeSystem;
 
 TEST(AtomicMemory, InlineCellBasics) {
   AtomicMemory<std::int64_t> mem(4, 7);
@@ -96,15 +97,16 @@ TEST(Threaded, SimpleOneShotPropertyUnderRealConcurrency) {
   const int n = 8;
   for (int trial = 0; trial < 20; ++trial) {
     runtime::CallLog<std::int64_t> log;
-    ThreadedHarness<std::int64_t> harness(core::simple_oneshot_registers(n),
-                                          0);
-    std::vector<ThreadedHarness<std::int64_t>::Program> programs;
+    std::vector<NativeSystem<std::int64_t>::Program> programs;
     for (int p = 0; p < n; ++p) {
       programs.push_back([p, n, &log](DirectCtx<std::int64_t>& ctx) {
         return core::simple_getts_program(ctx, p, n, &log);
       });
     }
-    harness.run(programs);
+    NativeSystem<std::int64_t> sys(core::simple_oneshot_registers(n), 0,
+                                   std::move(programs));
+    const auto stats = sys.run(n);
+    EXPECT_EQ(stats.calls, static_cast<std::uint64_t>(n));
     ASSERT_EQ(static_cast<int>(log.size()), n);
     auto report =
         verify::check_timestamp_property(log.snapshot(), core::Compare{});
@@ -118,15 +120,17 @@ TEST(Threaded, SqrtOneShotPropertyUnderRealConcurrency) {
     runtime::CallLog<PairTimestamp> log;
     core::SqrtStats stats;
     const int m = core::sqrt_oneshot_registers(n);
-    ThreadedHarness<TsRecord> harness(m, TsRecord::bottom());
-    std::vector<ThreadedHarness<TsRecord>::Program> programs;
+    std::vector<NativeSystem<TsRecord>::Program> programs;
     for (int p = 0; p < n; ++p) {
       programs.push_back([p, m, &log, &stats](DirectCtx<TsRecord>& ctx) {
         return core::sqrt_getts_program(ctx, core::TsId{p, 0}, m, &log,
                                         &stats);
       });
     }
-    harness.run(programs);
+    NativeSystem<TsRecord> sys(m, TsRecord::bottom(), std::move(programs));
+    const auto run = sys.run(n);
+    EXPECT_EQ(run.calls, static_cast<std::uint64_t>(n));
+    EXPECT_EQ(run.retired_nodes, 0u);  // quiesce freed the whole backlog
     ASSERT_EQ(static_cast<int>(log.size()), n);
     auto report =
         verify::check_timestamp_property(log.snapshot(), core::Compare{});
@@ -138,14 +142,16 @@ TEST(Threaded, MaxScanLongLivedUnderRealConcurrency) {
   const int n = 4;
   const int calls = 16;
   runtime::CallLog<std::int64_t> log;
-  ThreadedHarness<std::int64_t> harness(n, 0);
-  std::vector<ThreadedHarness<std::int64_t>::Program> programs;
+  std::vector<NativeSystem<std::int64_t>::Program> programs;
   for (int p = 0; p < n; ++p) {
     programs.push_back([p, n, calls, &log](DirectCtx<std::int64_t>& ctx) {
       return core::maxscan_program(ctx, p, n, calls, &log);
     });
   }
-  harness.run(programs);
+  NativeSystem<std::int64_t> sys(n, 0, std::move(programs));
+  const auto stats = sys.run(n);
+  EXPECT_EQ(stats.calls, static_cast<std::uint64_t>(n) * calls);
+  EXPECT_GT(stats.ops, 0u);
   ASSERT_EQ(static_cast<int>(log.size()), n * calls);
   auto report =
       verify::check_timestamp_property(log.snapshot(), core::Compare{});
@@ -153,6 +159,88 @@ TEST(Threaded, MaxScanLongLivedUnderRealConcurrency) {
   auto mono =
       verify::check_per_process_monotonicity(log.snapshot(), core::Compare{});
   EXPECT_TRUE(mono.ok()) << mono.to_string();
+}
+
+TEST(Reclamation, EpochTrimKeepsRetirementBoundedAcross10kWrites) {
+  // Node cells retire the unlinked node on every write. Without trimming,
+  // 10k writes would leave ~10k retirees; the epoch-counted trim must keep
+  // the outstanding backlog near kTrimThreshold at every point (retirees of
+  // the current epoch survive one round, hence the 2x + slack bound).
+  AtomicMemory<TsRecord> mem(2, TsRecord::bottom());
+  const std::uint64_t baseline = mem.arena_bytes();
+  EXPECT_EQ(mem.retired_nodes(), 0u);
+  const std::uint64_t bound = 2 * AtomicMemory<TsRecord>::kTrimThreshold + 64;
+  std::uint64_t worst = 0;
+  for (int k = 1; k <= 10000; ++k) {
+    mem.write(k % 2, TsRecord::make({{0, k}}, k));
+    worst = std::max(worst, mem.retired_nodes());
+    ASSERT_LE(mem.retired_nodes(), bound) << "after write " << k;
+  }
+  // The trim actually fired: the backlog cannot have stayed trivially small
+  // across 10k retirements without it, and the worst case stayed bounded.
+  EXPECT_GE(worst, AtomicMemory<TsRecord>::kTrimThreshold / 2);
+  mem.quiesce();
+  EXPECT_EQ(mem.retired_nodes(), 0u);
+  // Post-quiesce the heap is back to the live nodes alone (one per cell).
+  EXPECT_EQ(mem.arena_bytes(), baseline);
+}
+
+TEST(Reclamation, InlineCellsReportZero) {
+  AtomicMemory<std::int64_t> mem(4, 0);
+  for (int k = 0; k < 1000; ++k) mem.write(k % 4, k);
+  EXPECT_EQ(mem.retired_nodes(), 0u);
+  EXPECT_EQ(mem.arena_bytes(), 0u);
+}
+
+TEST(Seqlock, LoadVersionedConsistentUnderConcurrentWriters) {
+  // TSan target: 4 writers hammer one inline cell through the seqlock while
+  // readers take versioned snapshots. Each writer w writes values encoding
+  // (w, k) with k strictly increasing, so a torn or stale-versioned read
+  // surfaces as a decoded inconsistency: versions must be monotone per
+  // reader, and re-reading the same version must yield the same value.
+  AtomicMemory<std::int64_t> mem(1, 0);
+  constexpr int kWriters = 4;
+  constexpr int kWrites = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistent{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int r = 0; r < 2; ++r) {
+      threads.emplace_back([&] {
+        std::uint64_t last_version = 0;
+        std::int64_t last_value = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          const auto v = mem.versioned_read(0);
+          if (v.version < last_version) inconsistent.fetch_add(1);
+          if (v.version == last_version && last_version > 0 &&
+              v.value != last_value) {
+            inconsistent.fetch_add(1);  // same version, different value
+          }
+          const std::int64_t k = v.value % (kWrites + 1);
+          const std::int64_t w = v.value / (kWrites + 1);
+          if (v.value != 0 && (w < 0 || w >= kWriters || k < 1)) {
+            inconsistent.fetch_add(1);  // torn/out-of-universe value
+          }
+          last_version = v.version;
+          last_value = v.value;
+        }
+      });
+    }
+    {
+      std::vector<std::jthread> writers;
+      for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+          for (int k = 1; k <= kWrites; ++k) {
+            mem.write(0, static_cast<std::int64_t>(w) * (kWrites + 1) + k);
+          }
+        });
+      }
+    }  // writers join
+    stop.store(true, std::memory_order_release);
+  }
+  EXPECT_EQ(inconsistent.load(), 0);
+  const auto settled = mem.versioned_read(0);
+  EXPECT_EQ(settled.version, static_cast<std::uint64_t>(kWriters) * kWrites);
 }
 
 TEST(FetchAdd, BaselineStrictlyIncreasing) {

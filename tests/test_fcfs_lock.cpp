@@ -7,6 +7,7 @@
 
 #include "apps/fcfs_lock.hpp"
 #include "atomicmem/atomic_memory.hpp"
+#include "native/native_system.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace {
@@ -83,9 +84,7 @@ TEST(FcfsLock, WorksUnderRealThreads) {
   const int rounds = 25;
   for (int trial = 0; trial < 5; ++trial) {
     apps::BakeryLog log;
-    atomicmem::ThreadedHarness<std::int64_t> harness(
-        BakeryLayout::registers(n), 0);
-    std::vector<atomicmem::ThreadedHarness<std::int64_t>::Program> programs;
+    std::vector<native::NativeSystem<std::int64_t>::Program> programs;
     const BakeryLayout layout{n};
     for (int p = 0; p < n; ++p) {
       programs.push_back(
@@ -94,7 +93,9 @@ TEST(FcfsLock, WorksUnderRealThreads) {
                                                nullptr);
           });
     }
-    harness.run(programs);
+    native::NativeSystem<std::int64_t> sys(BakeryLayout::registers(n), 0,
+                                           std::move(programs));
+    (void)sys.run(n);
     auto records = log.snapshot();
     ASSERT_EQ(records.size(), static_cast<std::size_t>(n * rounds));
     const std::string disjoint = apps::check_cs_disjoint(records);

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "atomicmem/atomic_memory.hpp"
+#include "native/native_system.hpp"
 #include "registers/mwmr_register.hpp"
 #include "runtime/scheduler.hpp"
 
@@ -107,15 +108,16 @@ TEST(MwmrRegister, WorksUnderRealThreads) {
   const int rounds = 50;
   for (int trial = 0; trial < 5; ++trial) {
     registers::MwmrLog log;
-    atomicmem::ThreadedHarness<TaggedValue> harness(n, TaggedValue{});
-    std::vector<atomicmem::ThreadedHarness<TaggedValue>::Program> programs;
+    std::vector<native::NativeSystem<TaggedValue>::Program> programs;
     for (int p = 0; p < n; ++p) {
       programs.push_back(
           [p, n, rounds, &log](atomicmem::DirectCtx<TaggedValue>& ctx) {
             return registers::mwmr_worker_program(ctx, p, n, rounds, &log);
           });
     }
-    harness.run(programs);
+    native::NativeSystem<TaggedValue> sys(n, TaggedValue{},
+                                          std::move(programs));
+    (void)sys.run(n);
     const std::string verdict = registers::check_mwmr_history(log.snapshot());
     EXPECT_TRUE(verdict.empty()) << verdict;
   }

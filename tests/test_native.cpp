@@ -1,0 +1,168 @@
+// Tests: the native multicore backend — the lock-free history recorder, the
+// NativeSystem thread pool, and the harness integration that checks recorded
+// native histories with the same property checkers as simulated runs.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "api/harness.hpp"
+#include "api/registry.hpp"
+#include "core/maxscan_longlived.hpp"
+#include "core/timestamp.hpp"
+#include "native/native_instance.hpp"
+#include "native/native_system.hpp"
+#include "native/recorder.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using namespace stamped;
+using native::CallArena;
+using native::HistoryRecorder;
+using native::NativeSystem;
+
+TEST(Recorder, ArenaCrossesBlockBoundaries) {
+  CallArena<std::int64_t> arena;
+  const std::size_t total = 3 * CallArena<std::int64_t>::kBlockRecords + 17;
+  for (std::size_t k = 0; k < total; ++k) {
+    arena.record({0, static_cast<int>(k), static_cast<std::int64_t>(k),
+                  2 * k + 1, 2 * k + 2});
+  }
+  EXPECT_EQ(arena.size(), total);
+  EXPECT_EQ(arena.bytes() % sizeof(runtime::CallRecord<std::int64_t>), 0u);
+  EXPECT_GT(arena.bytes(), 0u);
+  std::vector<runtime::CallRecord<std::int64_t>> out;
+  arena.append_to(out);
+  ASSERT_EQ(out.size(), total);
+  for (std::size_t k = 0; k < total; ++k) {
+    EXPECT_EQ(out[k].ts, static_cast<std::int64_t>(k));
+  }
+}
+
+TEST(Recorder, MergeSortsByCompletionStamp) {
+  // Two arenas with interleaved completion stamps; merged() must produce the
+  // stamp-sorted total order regardless of arena boundaries.
+  HistoryRecorder<std::int64_t> rec(2);
+  rec.arena(0).record({0, 0, 10, 1, 4});
+  rec.arena(0).record({0, 1, 11, 5, 8});
+  rec.arena(1).record({1, 0, 20, 2, 3});
+  rec.arena(1).record({1, 1, 21, 6, 7});
+  const auto merged = rec.merged();
+  ASSERT_EQ(merged.size(), 4u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LT(merged[i - 1].responded_at, merged[i].responded_at);
+  }
+  EXPECT_EQ(merged[0].ts, 20);
+  EXPECT_EQ(merged[1].ts, 10);
+  EXPECT_EQ(merged[2].ts, 21);
+  EXPECT_EQ(merged[3].ts, 11);
+  EXPECT_EQ(rec.size(), 4u);
+  const auto counts = rec.per_arena_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(NativeSystem, FewerThreadsThanProcesses) {
+  // 8 programs on 3 workers: the pool serializes some programs per worker;
+  // every program still runs and per_thread_calls accounts for all of them.
+  const int n = 8;
+  const int calls = 5;
+  HistoryRecorder<std::int64_t> rec(n);
+  std::vector<NativeSystem<std::int64_t>::Program> programs;
+  for (int p = 0; p < n; ++p) {
+    auto* arena = &rec.arena(p);
+    programs.push_back(
+        [p, n, calls, arena](atomicmem::DirectCtx<std::int64_t>& ctx) {
+          return core::maxscan_program(ctx, p, n, calls, arena);
+        });
+  }
+  NativeSystem<std::int64_t> sys(n, 0, std::move(programs));
+  const auto stats = sys.run(3);
+  EXPECT_EQ(stats.threads, 3);
+  EXPECT_EQ(stats.calls, static_cast<std::uint64_t>(n) * calls);
+  ASSERT_EQ(stats.per_thread_calls.size(), 3u);
+  const std::uint64_t sum = std::accumulate(stats.per_thread_calls.begin(),
+                                            stats.per_thread_calls.end(),
+                                            std::uint64_t{0});
+  EXPECT_EQ(sum, stats.calls);
+  EXPECT_EQ(rec.size(), static_cast<std::size_t>(n) * calls);
+}
+
+TEST(NativeSystem, RunIsSingleUse) {
+  std::vector<NativeSystem<std::int64_t>::Program> programs;
+  programs.push_back([](atomicmem::DirectCtx<std::int64_t>& ctx) {
+    return core::maxscan_program(
+        ctx, 0, 1, 1, static_cast<runtime::CallLog<std::int64_t>*>(nullptr));
+  });
+  NativeSystem<std::int64_t> sys(1, 0, std::move(programs));
+  (void)sys.run(1);
+  EXPECT_THROW((void)sys.run(1), stamped::invariant_error);
+}
+
+TEST(Harness, BackendAndSourceMustAgree) {
+  const auto& fam = api::family("maxscan");
+  api::ScenarioSpec spec;
+  spec.n = 2;
+  // Native spec under a simulator source.
+  spec.backend = api::Backend::kNative;
+  EXPECT_THROW((void)api::Harness{}.run_scenario(fam, spec, api::round_robin()),
+               stamped::invariant_error);
+  // Simulator spec under the native source.
+  spec.backend = api::Backend::kSim;
+  EXPECT_THROW((void)api::Harness{}.run_scenario(fam, spec, api::native_os()),
+               stamped::invariant_error);
+}
+
+TEST(Harness, NativeReportCarriesRunStats) {
+  const auto& fam = api::family("maxscan");
+  api::ScenarioSpec spec;
+  spec.n = 8;
+  spec.calls_per_process = 10;
+  spec.backend = api::Backend::kNative;
+  spec.native_threads = 4;
+  const auto rep =
+      api::Harness{}.run_scenario(fam, spec, api::native_os());
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_TRUE(rep.all_finished);
+  EXPECT_EQ(rep.schedule, "native-os");
+  EXPECT_EQ(rep.calls, static_cast<std::uint64_t>(spec.total_calls()));
+  EXPECT_EQ(rep.native_threads, 4);
+  // Max-scan is scan-free: n reads + 1 write + n registers => deterministic
+  // op count n*calls*(n+1) regardless of the interleaving.
+  EXPECT_EQ(rep.steps, static_cast<std::uint64_t>(spec.n) *
+                           spec.calls_per_process * (spec.n + 1));
+  ASSERT_EQ(rep.native_thread_calls.size(), 4u);
+  EXPECT_EQ(std::accumulate(rep.native_thread_calls.begin(),
+                            rep.native_thread_calls.end(), std::uint64_t{0}),
+            rep.calls);
+  EXPECT_GT(rep.recorder_arena_bytes, 0u);
+  EXPECT_EQ(rep.retired_nodes, 0u);  // int64 registers: inline cells
+  EXPECT_GE(rep.native_elapsed_seconds, 0.0);
+  EXPECT_FALSE(rep.summary().empty());
+}
+
+TEST(Harness, EveryFamilyRunsNativeAndPassesCheckers) {
+  // The acceptance bar in one test: all six families on >= 4 real threads,
+  // recorded histories through the same checkers as simulated runs.
+  for (const auto& fam : api::registry()) {
+    ASSERT_NE(fam.make_native, nullptr) << fam.name;
+    api::ScenarioSpec spec;
+    spec.n = 8;
+    spec.calls_per_process = fam.max_calls_per_process == 1 ? 1 : 6;
+    spec.backend = api::Backend::kNative;
+    spec.native_threads = 4;
+    const auto rep =
+        api::Harness{}.run_scenario(fam, spec, api::native_os());
+    EXPECT_TRUE(rep.ok()) << fam.name << ": " << rep.summary();
+    EXPECT_TRUE(rep.all_finished) << fam.name;
+    EXPECT_EQ(rep.calls, static_cast<std::uint64_t>(spec.total_calls()))
+        << fam.name;
+    EXPECT_EQ(rep.native_threads, 4) << fam.name;
+    EXPECT_EQ(rep.retired_nodes, 0u) << fam.name;  // clean quiesce
+  }
+}
+
+}  // namespace
