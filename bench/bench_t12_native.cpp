@@ -94,32 +94,49 @@ double sim_reference_calls_per_sec() {
   return secs > 0 ? static_cast<double>(rep.calls) / secs : 0.0;
 }
 
-void print_t12b() {
+bool print_t12b() {
   std::vector<std::string> headers{"threads"};
   for (const NativeWorkload& w : kScalingWorkloads) headers.emplace_back(w.family);
   headers.emplace_back("maxscan_sim");
+  // Exact integer columns beside the tolerance-diffed timings: total getTS
+  // calls executed across the row's workloads and the sum of the per-thread
+  // call splits. Both are deterministic given the workload table, so CI
+  // diffs them exactly — a correctness gate inside a timing table.
+  headers.emplace_back("calls_total");
+  headers.emplace_back("thread_sum");
   util::Table table("T12b: native getTS calls/sec scaling (n=8)",
                     std::move(headers));
   const double sim_ref = sim_reference_calls_per_sec();
+  bool counts_ok = true;
   for (int t : {1, 2, 4, 8}) {
     std::vector<std::string> row{
         util::Table::fmt(static_cast<std::int64_t>(t))};
+    std::int64_t calls_total = 0;
+    std::int64_t thread_sum = 0;
     for (const NativeWorkload& w : kScalingWorkloads) {
       const api::TimestampFamily& fam = api::family(w.family);
       api::ScenarioSpec spec;
       spec.n = 8;
       spec.calls_per_process = w.calls_per_process;
-      row.push_back(util::Table::fmt(
-          bench::threaded_throughput(fam, spec, w.batches, t), 0));
+      const bench::ThroughputSample sample =
+          bench::threaded_throughput_sample(fam, spec, w.batches, t);
+      calls_total += sample.calls;
+      thread_sum += sample.thread_sum;
+      row.push_back(util::Table::fmt(sample.calls_per_sec, 0));
     }
     row.push_back(util::Table::fmt(sim_ref, 0));
+    row.push_back(util::Table::fmt(calls_total));
+    row.push_back(util::Table::fmt(thread_sum));
+    counts_ok = counts_ok && calls_total == thread_sum;
     table.add_row(std::move(row));
   }
   bench::emit(table);
   std::cout << "note: timing columns are informational (CI pins the table "
                "shape, not the numbers); the maxscan_sim column is the "
                "single-threaded simulator reference and does not vary with "
-               "the thread row.\n\n";
+               "the thread row. calls_total/thread_sum are exact counts and "
+               "CI diffs them exactly.\n\n";
+  return counts_ok;
 }
 
 void BM_NativeMaxScanRun(benchmark::State& state) {
@@ -140,9 +157,13 @@ BENCHMARK(BM_NativeMaxScanRun)->Arg(1)->Arg(2)->Arg(4);
 
 int main(int argc, char** argv) {
   const bool ok = print_t12a();
-  print_t12b();
+  const bool counts_ok = print_t12b();
   if (!ok) {
     std::cerr << "T12a self-consistency FAILED\n";
+    return 1;
+  }
+  if (!counts_ok) {
+    std::cerr << "T12b call-count columns FAILED (calls_total != thread_sum)\n";
     return 1;
   }
   if (stamped::bench::table_only(argc, argv)) return 0;

@@ -65,26 +65,51 @@ inline std::int64_t worst_metric(const api::TimestampFamily& family,
   return worst;
 }
 
+/// One threaded_throughput measurement with its exact call accounting kept
+/// alongside the machine-dependent rate. `calls` and `thread_sum` are
+/// integer counts straight from RunStats — deterministic given the spec, so
+/// benches can print them as exact-diffable correctness columns next to the
+/// tolerance-diffed timing columns.
+struct ThroughputSample {
+  double calls_per_sec = 0.0;
+  std::int64_t calls = 0;       ///< completed getTS calls across batches
+  std::int64_t thread_sum = 0;  ///< sum of the per-thread call splits
+};
+
 /// Real-thread throughput of `family` (getTS calls per second): times
 /// `batches` consecutive native executions via make_native + run_native.
 /// For one-shot families each batch is a fresh single-use instance
 /// (construction, recorder, and thread spawn included, as a user would pay
 /// them); long-lived families amortize one instance over calls_per_process
 /// calls. `threads <= 0` runs one OS thread per process.
-inline double threaded_throughput(const api::TimestampFamily& family,
-                                  const api::ScenarioSpec& spec, int batches,
-                                  int threads = 0) {
+inline ThroughputSample threaded_throughput_sample(
+    const api::TimestampFamily& family, const api::ScenarioSpec& spec,
+    int batches, int threads = 0) {
   using Clock = std::chrono::steady_clock;
+  ThroughputSample sample;
   const auto start = Clock::now();
   for (int b = 0; b < batches; ++b) {
     auto inst = family.make_native(spec);
-    (void)inst->run_native(threads);
+    const api::NativeRunStats stats = inst->run_native(threads);
+    sample.calls += static_cast<std::int64_t>(stats.calls);
+    for (const std::uint64_t c : stats.per_thread_calls) {
+      sample.thread_sum += static_cast<std::int64_t>(c);
+    }
   }
   const double secs = std::chrono::duration_cast<
                           std::chrono::duration<double>>(Clock::now() - start)
                           .count();
   const double ops = static_cast<double>(spec.total_calls()) * batches;
-  return secs > 0 ? ops / secs : 0.0;
+  sample.calls_per_sec = secs > 0 ? ops / secs : 0.0;
+  return sample;
+}
+
+/// Rate-only view of threaded_throughput_sample.
+inline double threaded_throughput(const api::TimestampFamily& family,
+                                  const api::ScenarioSpec& spec, int batches,
+                                  int threads = 0) {
+  return threaded_throughput_sample(family, spec, batches, threads)
+      .calls_per_sec;
 }
 
 }  // namespace stamped::bench

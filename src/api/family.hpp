@@ -30,6 +30,10 @@
 #include "runtime/scheduler.hpp"
 #include "runtime/system.hpp"
 
+namespace stamped::shard {
+class ShardedInstance;  // src/shard/sharded_instance.hpp
+}
+
 namespace stamped::api {
 
 /// Family-specific counters surfaced in ScenarioReport (e.g. the bounded
@@ -265,6 +269,14 @@ struct TimestampFamily {
   /// metrics() as usual. Null when the family has no native form.
   std::function<std::unique_ptr<FamilyInstance>(const ScenarioSpec&)>
       make_native;
+
+  /// Builds a sharded-service run of this family (src/shard/): clients are
+  /// routed to `spec.shard.shards` independent instances, concurrent calls
+  /// per shard are flat-combined, composed timestamps carry a global epoch.
+  /// Requires spec.shard.shards >= 1. Null when the family has no sharded
+  /// form. Works on both backends (the spec's Backend picks sim vs native).
+  std::function<std::unique_ptr<shard::ShardedInstance>(const ScenarioSpec&)>
+      make_sharded;
 
   /// Whether this family can run the given scenario.
   [[nodiscard]] bool supports(const ScenarioSpec& spec) const {

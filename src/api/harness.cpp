@@ -14,6 +14,7 @@
 
 #include "analysis/footprint.hpp"
 #include "runtime/scheduler.hpp"
+#include "shard/sharded_instance.hpp"
 #include "verify/coverage.hpp"
 #include "verify/hb_checker.hpp"
 
@@ -93,6 +94,104 @@ void apply_checkers(const GenericCallLog& log, const Checkers& checkers,
     rep.violations.insert(rep.violations.end(), r.violations.begin(),
                           r.violations.end());
   }
+}
+
+/// The sharded-service path of run_scenario (ScenarioSpec::shard.shards
+/// > 0): builds a shard::ShardedInstance, drives it on the requested
+/// backend, and checks three layers of history — the composed global log
+/// (timestamp property through ComposedCompare), every per-shard local log
+/// (the shard's own family comparator and pair filter, violations prefixed
+/// "shard s:"), and the cross-shard monotonicity obligation.
+ScenarioReport run_sharded_scenario(const TimestampFamily& family,
+                                    const ScenarioSpec& spec,
+                                    const ScheduleSource& source,
+                                    const Checkers& checkers,
+                                    std::uint64_t max_steps) {
+  STAMPED_ASSERT_MSG(family.make_sharded != nullptr,
+                     "family '" << family.name << "' has no sharded form");
+  STAMPED_ASSERT_MSG(
+      source.kind == ScheduleSource::Kind::kDriver ||
+          source.kind == ScheduleSource::Kind::kNativeOS,
+      "sharded scenarios run under driver sources or native_os(); '"
+          << source.name << "' is not supported");
+  // A solo-blocking driver parks one process mid-combine while it holds the
+  // shard's combiner lock; every later solo process spins forever. Reject
+  // up front instead of burning the step budget.
+  STAMPED_ASSERT_MSG(!source.solo_blocking,
+                     "schedule source '"
+                         << source.name
+                         << "' runs processes solo until they block; the "
+                            "flat-combining wait loop never terminates "
+                            "under it");
+  ScenarioReport rep;
+  rep.family = family.name;
+  rep.schedule = source.name;
+  rep.spec = spec;
+
+  auto inst = family.make_sharded(spec);
+  if (source.kind == ScheduleSource::Kind::kNativeOS) {
+    const NativeRunStats st = inst->run_native(spec.native_threads);
+    rep.steps = st.ops;
+    rep.calls = st.calls;
+    rep.all_finished = true;  // run_native rethrows program failures
+    rep.survivors_finished = true;
+    rep.native_threads = st.threads;
+    rep.native_elapsed_seconds = st.elapsed_seconds;
+    rep.native_ops_per_sec =
+        st.elapsed_seconds > 0.0
+            ? static_cast<double>(st.ops) / st.elapsed_seconds
+            : 0.0;
+    rep.native_thread_calls = st.per_thread_calls;
+    rep.recorder_arena_bytes = st.recorder_arena_bytes;
+    rep.retired_nodes = st.retired_nodes;
+    rep.memory_arena_bytes = st.memory_arena_bytes;
+  } else {
+    STAMPED_ASSERT_MSG(source.drive != nullptr,
+                       "schedule source '" << source.name
+                                           << "' has no driver");
+    runtime::ISystem& sys = inst->system();
+    if (spec.recording != runtime::RecordingMode::kFull) {
+      sys.set_recording_mode(spec.recording);
+    }
+    util::Rng rng(spec.seed);
+    source.drive(sys, rng, max_steps);
+    runtime::check_no_failures(sys);
+    rep.all_finished = sys.all_finished();
+    rep.survivors_finished = rep.all_finished;
+    rep.steps = sys.steps_taken();
+    rep.calls = sys.calls_completed_total();
+    rep.registers_written = sys.registers_written();
+  }
+
+  const shard::ShardRunStats st = inst->shard_stats();
+  rep.registers_allocated = st.total_registers;
+  rep.shards = st.shards;
+  rep.combiner_passes = st.combiner_passes;
+  rep.combined_calls = st.combined_calls;
+  rep.max_batch = st.max_batch;
+  rep.avg_batch = st.avg_batch();
+  rep.shard_calls = st.per_shard_calls;
+  rep.shard_clients = st.per_shard_clients;
+  rep.metrics = inst->metrics();
+
+  if (checkers.timestamp_property || checkers.per_process_monotonicity) {
+    apply_checkers(inst->composed_calls(), checkers, rep);
+    for (int s = 0; s < st.shards; ++s) {
+      ScenarioReport local;
+      apply_checkers(inst->shard_calls(s), checkers, local);
+      rep.ordered_pairs += local.ordered_pairs;
+      rep.concurrent_pairs += local.concurrent_pairs;
+      rep.filtered_pairs += local.filtered_pairs;
+      for (const std::string& v : local.violations) {
+        rep.violations.push_back("shard " + std::to_string(s) + ": " + v);
+      }
+    }
+    const verify::HbReport cross = inst->cross_shard_monotonicity();
+    rep.cross_shard_pairs = cross.ordered_pairs_checked;
+    rep.violations.insert(rep.violations.end(), cross.violations.begin(),
+                          cross.violations.end());
+  }
+  return rep;
 }
 
 /// Builds the explorer's instance factory for a family/spec: each instance
@@ -266,6 +365,7 @@ ScheduleSource staggered(int group) {
 ScheduleSource covering_adversary() {
   ScheduleSource src;
   src.name = "covering";
+  src.solo_blocking = true;
   src.drive = [](runtime::ISystem& sys, util::Rng&, std::uint64_t max_steps) {
     // Pause every process at a write to a register no earlier process
     // covers (greedy covering), then release the block write and drain.
@@ -371,6 +471,11 @@ std::string ScenarioReport::summary() const {
     os << " signatures=" << coverage_signatures << " corpus=" << corpus_size
        << " executions=" << executions;
   }
+  if (shards > 0) {
+    os << " shards=" << shards << " passes=" << combiner_passes
+       << " combined=" << combined_calls << " max_batch=" << max_batch
+       << " avg_batch=" << avg_batch << " cross_pairs=" << cross_shard_pairs;
+  }
   for (const auto& [key, value] : metrics) os << ' ' << key << '=' << value;
   os << (ok() ? " OK" : " VIOLATED");
   for (const auto& v : violations) os << "\n  " << v;
@@ -395,6 +500,9 @@ ScenarioReport Harness::run_scenario(const TimestampFamily& family,
       "backend/source mismatch: backend=" << backend_name(spec.backend)
           << " with schedule source '" << source.name
           << "' — the native backend runs only under api::native_os()");
+  if (spec.sharded()) {
+    return run_sharded_scenario(family, spec, source, checkers, max_steps_);
+  }
   ScenarioReport rep;
   rep.family = family.name;
   rep.schedule = source.name;

@@ -63,6 +63,12 @@ struct ScheduleSource {
   runtime::JitterSpec jitter{};
   /// Search budget for kFuzzer.
   FuzzOptions fuzz{};
+  /// True for drivers that run one process solo until it blocks on a
+  /// covering condition (covering_adversary). The sharded service's
+  /// flat-combining wait loop never terminates under a solo scheduler (a
+  /// client poised mid-combine holds the shard lock while another spins), so
+  /// sharded scenarios reject such sources up front.
+  bool solo_blocking = false;
 };
 
 /// Fair round-robin over unfinished processes.
@@ -187,6 +193,20 @@ struct ScenarioReport {
   std::uint64_t recorder_arena_bytes = 0;
   std::uint64_t retired_nodes = 0;
   std::uint64_t memory_arena_bytes = 0;
+
+  /// Sharded scenarios only (ScenarioSpec::shard.shards > 0): shard count,
+  /// flat-combining batch accounting (passes that served >= 1 request, calls
+  /// served by some pass, largest/average single batch), the per-shard call
+  /// and client split, and how many cross-shard happens-before pairs the
+  /// cross-shard monotonicity checker held to order.
+  int shards = 0;
+  std::uint64_t combiner_passes = 0;
+  std::uint64_t combined_calls = 0;
+  std::uint64_t max_batch = 0;
+  double avg_batch = 0.0;
+  std::vector<std::uint64_t> shard_calls;
+  std::vector<int> shard_clients;
+  std::size_t cross_shard_pairs = 0;
 
   Metrics metrics;
   std::vector<std::string> violations;

@@ -13,6 +13,8 @@
 #include "core/timestamp.hpp"
 #include "native/native_instance.hpp"
 #include "native/native_system.hpp"
+#include "shard/engines.hpp"
+#include "shard/sharded_service.hpp"
 #include "util/bounds.hpp"
 
 namespace stamped::api {
@@ -88,6 +90,9 @@ TimestampFamily maxscan_family() {
         spec.n, 0, std::move(programs)));
     return inst;
   };
+  fam.make_sharded = [](const ScenarioSpec& spec) {
+    return shard::make_sharded<shard::MaxscanEngine>(spec);
+  };
   return fam;
 }
 
@@ -139,6 +144,9 @@ TimestampFamily simple_oneshot_family() {
     inst->adopt(std::make_unique<NativeSys<std::int64_t>>(
         core::simple_oneshot_registers(spec.n), 0, std::move(programs)));
     return inst;
+  };
+  fam.make_sharded = [](const ScenarioSpec& spec) {
+    return shard::make_sharded<shard::SimpleEngine>(spec);
   };
   return fam;
 }
@@ -232,6 +240,9 @@ TimestampFamily sqrt_oneshot_family() {
     return make_alg4_native(spec,
                             core::sqrt_oneshot_registers(spec.total_calls()));
   };
+  fam.make_sharded = [](const ScenarioSpec& spec) {
+    return shard::make_sharded<shard::SqrtEngine>(spec);
+  };
   return fam;
 }
 
@@ -273,6 +284,9 @@ TimestampFamily growing_oneshot_family() {
   fam.make_native = [](const ScenarioSpec& spec) {
     return make_alg4_native(spec, core::growing_pool_registers(
                                       static_cast<int>(spec.total_calls())));
+  };
+  fam.make_sharded = [](const ScenarioSpec& spec) {
+    return shard::make_sharded<shard::GrowingEngine>(spec);
   };
   return fam;
 }
@@ -325,6 +339,9 @@ TimestampFamily fetchadd_family() {
     inst->adopt(std::make_unique<NativeSys<std::int64_t>>(
         1, 0, std::move(programs)));
     return inst;
+  };
+  fam.make_sharded = [](const ScenarioSpec& spec) {
+    return shard::make_sharded<shard::FetchAddEngine>(spec);
   };
   return fam;
 }
@@ -415,6 +432,9 @@ TimestampFamily bounded_family() {
           {"collects", static_cast<std::int64_t>(stats->collects())}};
     });
     return inst;
+  };
+  fam.make_sharded = [](const ScenarioSpec& spec) {
+    return shard::make_sharded<shard::BoundedEngine>(spec);
   };
   return fam;
 }

@@ -41,6 +41,20 @@ enum class Backend : std::uint8_t {
   return b == Backend::kSim ? "sim" : "native";
 }
 
+/// Sharding parameters (src/shard/). shards == 0 disables sharding; a
+/// positive count routes each client (or each call, under rehash_calls) to
+/// one of `shards` independent family instances and composes globally
+/// comparable (epoch, shard, local) timestamps.
+struct ShardSpec {
+  int shards = 0;            ///< 0 = unsharded; >= 1 = sharded service
+  bool batched = true;       ///< flat-combining batcher on each shard
+  bool rehash_calls = false; ///< route per (client, call) instead of client
+  /// Planted mis-composition for differential tests: report epoch 0 on
+  /// every composed timestamp (the classic "forwarded the local label,
+  /// dropped the epoch" bug). Never set outside tests.
+  bool drop_epoch = false;
+};
+
 /// Parameters of one scenario: which system to build and how big.
 struct ScenarioSpec {
   int n = 2;                   ///< number of processes
@@ -66,6 +80,11 @@ struct ScenarioSpec {
   /// Worker threads for backend = kNative (<= 0: hardware concurrency).
   /// Requests beyond the core count are honored — the OS time-slices.
   int native_threads = 0;
+  /// Sharded-service routing (src/shard/). shard.shards == 0 runs the plain
+  /// unsharded family; >= 1 runs it through ShardedInstance.
+  ShardSpec shard;
+
+  [[nodiscard]] bool sharded() const { return shard.shards > 0; }
 
   [[nodiscard]] std::int64_t total_calls() const {
     return static_cast<std::int64_t>(n) * calls_per_process;

@@ -34,9 +34,12 @@ namespace stamped::core {
 
 /// One simple-getTS() call by process `pid` in an n-process system
 /// (Algorithm 2). Appends the returned integer timestamp to `log` if non-null
-/// (`Log` is runtime::CallLog or native::CallArena).
+/// (`Log` is runtime::CallLog or native::CallArena). `call_index` is the
+/// caller's k (always 0 under the one-shot discipline; the sharded service
+/// reuses the algorithm per shard and records the client's global k).
 template <class Ctx, class Log>
-runtime::ProcessTask simple_getts_program(Ctx& ctx, int pid, int n, Log* log) {
+runtime::SubTask<std::int64_t> simple_getts(Ctx& ctx, int pid, int n,
+                                            int call_index, Log* log) {
   const std::uint64_t invoked = ctx.stamp();
   const int m = simple_oneshot_registers(n);
   const int own = simple_own_register(pid);
@@ -55,9 +58,16 @@ runtime::ProcessTask simple_getts_program(Ctx& ctx, int pid, int n, Log* log) {
     sum += observed;
   }
   if (log != nullptr) {
-    log->record({pid, 0, sum, invoked, ctx.stamp()});
+    log->record({pid, call_index, sum, invoked, ctx.stamp()});
   }
   ctx.note_call_complete();
+  co_return sum;
+}
+
+/// The classic whole-program form: exactly one simple-getTS() by `pid`.
+template <class Ctx, class Log>
+runtime::ProcessTask simple_getts_program(Ctx& ctx, int pid, int n, Log* log) {
+  co_await simple_getts(ctx, pid, n, 0, log);
 }
 
 /// Builds an n-process simulation of the simple one-shot object. Every

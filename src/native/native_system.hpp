@@ -19,6 +19,7 @@
 // retirement stacks, and reports RunStats.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -35,15 +36,33 @@
 
 namespace stamped::native {
 
+/// Floor for RunStats::elapsed_seconds. Tiny runs (a handful of programs on
+/// a fast machine) can finish inside one steady_clock tick; dividing ops by
+/// a zero or sub-tick elapsed yields inf or garbage-of-ten rates. One
+/// microsecond is far below anything a thread spawn costs, so the clamp
+/// never distorts a real measurement — it only keeps degenerate runs finite.
+inline constexpr double kMinElapsedSeconds = 1e-6;
+
 /// What one run() did, for ScenarioReport's native fields and the T12 bench.
 struct RunStats {
   int threads = 0;               ///< workers actually spawned
-  double elapsed_seconds = 0.0;  ///< spawn-to-join wall time
+  /// Spawn-to-join wall time, clamped to >= kMinElapsedSeconds so rate math
+  /// (ops / elapsed) stays finite on degenerate runs.
+  double elapsed_seconds = 0.0;
   std::uint64_t ops = 0;         ///< register operations (sum of my_steps)
   std::uint64_t calls = 0;       ///< completed getTS calls (note_call_complete)
   std::vector<std::uint64_t> per_thread_calls;  ///< calls by worker index
   std::uint64_t retired_nodes = 0;      ///< memory retirees left post-quiesce
   std::uint64_t memory_arena_bytes = 0; ///< AtomicMemory heap after quiesce
+
+  [[nodiscard]] double ops_per_sec() const {
+    return static_cast<double>(ops) /
+           std::max(elapsed_seconds, kMinElapsedSeconds);
+  }
+  [[nodiscard]] double calls_per_sec() const {
+    return static_cast<double>(calls) /
+           std::max(elapsed_seconds, kMinElapsedSeconds);
+  }
 };
 
 /// Runs one program per process on a pool of real threads. Single-use: build,
@@ -136,7 +155,8 @@ class NativeSystem {
     RunStats stats;
     stats.threads = pool;
     stats.elapsed_seconds =
-        std::chrono::duration<double>(finished - started).count();
+        std::max(std::chrono::duration<double>(finished - started).count(),
+                 kMinElapsedSeconds);
     for (const auto& ctx : ctxs) {
       stats.ops += ctx->my_steps();
       stats.calls += ctx->calls_completed();

@@ -1,0 +1,82 @@
+// Flat-combining state for one sharded service (Bezerra–Freitas–Kuznetsov
+// motivation, PAPERS.md arXiv:2408.02562: amortize concurrent scans through
+// one combiner instead of paying one full collect per caller).
+//
+// Protocol per call: the caller publishes its request into its per-shard
+// slot (call_index plain-written, then `request` release-stored), then loops:
+// served? take the response. Combiner lock free? take it, run one combining
+// pass. Otherwise spin — a scheduler step on the simulator, bounded
+// spinning + yield on real threads. The self-serve arm makes the loop
+// wait-free against a missing combiner: a caller never depends on anyone
+// else volunteering.
+//
+// One combining pass (lock held): (1) COLLECT the pending requests of every
+// slot the shard seats; (2) draw ONE epoch from the global counter — after
+// the collect, never before (a pass that drew its epoch first could stall,
+// then collect a request published after a later-epoch pass already
+// responded, handing out a stale epoch to a call that happens-after — the
+// linearization argument in docs/runtime.md hangs on this order); (3)
+// execute the batch against the shard's family instance — one single-scan
+// batch op where the family supports it, else per-request getts, all under
+// the lock; (4) fill each slot's response and release-store its `done` seq.
+//
+// All cross-thread traffic is slot-local acquire/release plus the two global
+// fetch&adds (epoch, shared clock); slots and shard controls are cacheline-
+// aligned so spinning callers do not false-share with their neighbors.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace stamped::shard {
+
+/// One request/response mailbox. In static routing each client uses the one
+/// slot of its home shard; with rehash_calls the service allocates a slot
+/// per (shard, client) pair and call k uses the slot of its routed shard.
+/// `request`/`done` carry the per-client call sequence (k+1), so a slot is
+/// pending exactly when request > done; responses are plain fields published
+/// by the release-store of `done` and read after its acquire-load.
+template <class Ts>
+struct alignas(64) FcSlot {
+  std::atomic<std::uint64_t> request{0};
+  std::atomic<std::uint64_t> done{0};
+  int call_index = 0;
+  std::uint64_t resp_epoch = 0;
+  Ts resp_local{};
+};
+
+/// Per-shard combiner lock and batch statistics. Stats are relaxed atomics
+/// written only by the lock holder; readers harvest after the run joins.
+struct alignas(64) ShardCtl {
+  std::atomic<bool> lock{false};
+  std::atomic<std::uint64_t> passes{0};
+  std::atomic<std::uint64_t> combined{0};
+  std::atomic<std::uint64_t> max_batch{0};
+
+  [[nodiscard]] bool try_lock() {
+    return !lock.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() { lock.store(false, std::memory_order_release); }
+
+  void note_pass(std::uint64_t batch) {
+    passes.fetch_add(1, std::memory_order_relaxed);
+    combined.fetch_add(batch, std::memory_order_relaxed);
+    std::uint64_t cur = max_batch.load(std::memory_order_relaxed);
+    while (batch > cur && !max_batch.compare_exchange_weak(
+                              cur, batch, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// One collected request, resolved to shard-local coordinates for the engine.
+struct BatchReq {
+  int client = -1;
+  int local_pid = -1;
+  int call_index = 0;
+  std::uint64_t seq = 0;
+};
+
+}  // namespace stamped::shard

@@ -3,6 +3,7 @@
 // native histories with the same property checkers as simulated runs.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -89,6 +90,31 @@ TEST(NativeSystem, FewerThreadsThanProcesses) {
                                             std::uint64_t{0});
   EXPECT_EQ(sum, stats.calls);
   EXPECT_EQ(rec.size(), static_cast<std::size_t>(n) * calls);
+}
+
+TEST(NativeSystem, RateMathStaysFiniteOnDegenerateRuns) {
+  // A one-program one-call run can finish inside a steady_clock tick;
+  // elapsed_seconds is clamped so ops/sec never goes inf or garbage.
+  std::vector<NativeSystem<std::int64_t>::Program> programs;
+  programs.push_back([](atomicmem::DirectCtx<std::int64_t>& ctx) {
+    return core::maxscan_program(
+        ctx, 0, 1, 1, static_cast<runtime::CallLog<std::int64_t>*>(nullptr));
+  });
+  NativeSystem<std::int64_t> sys(1, 0, std::move(programs));
+  const auto stats = sys.run(1);
+  EXPECT_GE(stats.elapsed_seconds, native::kMinElapsedSeconds);
+  EXPECT_TRUE(std::isfinite(stats.ops_per_sec()));
+  EXPECT_TRUE(std::isfinite(stats.calls_per_sec()));
+
+  // The rate helpers clamp even a hand-built zero-elapsed RunStats, so
+  // consumers that fill the struct themselves get the same guarantee.
+  native::RunStats zero;
+  zero.ops = 1000;
+  zero.calls = 10;
+  zero.elapsed_seconds = 0.0;
+  EXPECT_TRUE(std::isfinite(zero.ops_per_sec()));
+  EXPECT_TRUE(std::isfinite(zero.calls_per_sec()));
+  EXPECT_DOUBLE_EQ(zero.ops_per_sec(), 1000.0 / native::kMinElapsedSeconds);
 }
 
 TEST(NativeSystem, RunIsSingleUse) {
