@@ -15,6 +15,7 @@
 #include "analysis/footprint.hpp"
 #include "runtime/scheduler.hpp"
 #include "shard/sharded_instance.hpp"
+#include "verify/at_most_once.hpp"
 #include "verify/coverage.hpp"
 #include "verify/hb_checker.hpp"
 
@@ -111,18 +112,22 @@ ScenarioReport run_sharded_scenario(const TimestampFamily& family,
                      "family '" << family.name << "' has no sharded form");
   STAMPED_ASSERT_MSG(
       source.kind == ScheduleSource::Kind::kDriver ||
+          source.kind == ScheduleSource::Kind::kCrash ||
+          source.kind == ScheduleSource::Kind::kJitter ||
           source.kind == ScheduleSource::Kind::kNativeOS,
-      "sharded scenarios run under driver sources or native_os(); '"
-          << source.name << "' is not supported");
-  // A solo-blocking driver parks one process mid-combine while it holds the
-  // shard's combiner lock; every later solo process spins forever. Reject
-  // up front instead of burning the step budget.
-  STAMPED_ASSERT_MSG(!source.solo_blocking,
+      "sharded scenarios run under driver, crash, jitter, or native_os() "
+      "sources; '" << source.name << "' is not supported");
+  // With lease stealing a parked combiner is recoverable: a later solo
+  // process exhausts its steal budget and takes the lease. Only the
+  // explicitly wedgeable no-steal config still rejects solo-blocking
+  // drivers up front — under it the wait loop genuinely cannot end.
+  STAMPED_ASSERT_MSG(!source.solo_blocking || spec.shard.allow_steal,
                      "schedule source '"
                          << source.name
-                         << "' runs processes solo until they block; the "
-                            "flat-combining wait loop never terminates "
-                            "under it");
+                         << "' runs processes solo until they block; with "
+                            "ShardSpec::allow_steal == false a parked "
+                            "combiner holds its lease forever and the "
+                            "flat-combining wait loop never terminates");
   ScenarioReport rep;
   rep.family = family.name;
   rep.schedule = source.name;
@@ -146,18 +151,46 @@ ScenarioReport run_sharded_scenario(const TimestampFamily& family,
     rep.retired_nodes = st.retired_nodes;
     rep.memory_arena_bytes = st.memory_arena_bytes;
   } else {
-    STAMPED_ASSERT_MSG(source.drive != nullptr,
-                       "schedule source '" << source.name
-                                           << "' has no driver");
     runtime::ISystem& sys = inst->system();
     if (spec.recording != runtime::RecordingMode::kFull) {
       sys.set_recording_mode(spec.recording);
     }
     util::Rng rng(spec.seed);
-    source.drive(sys, rng, max_steps);
+    bool crash_survivors = false;
+    switch (source.kind) {
+      case ScheduleSource::Kind::kDriver: {
+        STAMPED_ASSERT_MSG(source.drive != nullptr,
+                           "schedule source '" << source.name
+                                               << "' has no driver");
+        source.drive(sys, rng, max_steps);
+        break;
+      }
+      case ScheduleSource::Kind::kCrash: {
+        const runtime::CrashStats st =
+            runtime::run_crash_restart(sys, rng, source.crash, max_steps);
+        rep.crashes = st.crashes;
+        rep.restarts = st.restarts;
+        rep.crashed_down = st.crashed_down;
+        crash_survivors = st.survivors_finished;
+        break;
+      }
+      case ScheduleSource::Kind::kJitter: {
+        const runtime::JitterStats st =
+            runtime::run_jittered(sys, rng, source.jitter, max_steps);
+        rep.stalls = st.stalls;
+        rep.ticks = st.ticks;
+        break;
+      }
+      default:
+        STAMPED_ASSERT(false);  // kinds filtered above
+    }
     runtime::check_no_failures(sys);
     rep.all_finished = sys.all_finished();
-    rep.survivors_finished = rep.all_finished;
+    // Crash runs legitimately leave crashed-and-down processes unfinished;
+    // the wait-freedom verdict is the crash driver's survivor accounting.
+    rep.survivors_finished = source.kind == ScheduleSource::Kind::kCrash
+                                 ? crash_survivors
+                                 : rep.all_finished;
     rep.steps = sys.steps_taken();
     rep.calls = sys.calls_completed_total();
     rep.registers_written = sys.registers_written();
@@ -172,10 +205,23 @@ ScenarioReport run_sharded_scenario(const TimestampFamily& family,
   rep.avg_batch = st.avg_batch();
   rep.shard_calls = st.per_shard_calls;
   rep.shard_clients = st.per_shard_clients;
+  rep.lease_steals = st.lease_steals;
+  rep.lease_expiries = st.lease_expiries;
+  rep.claim_losses = st.claim_losses;
   rep.metrics = inst->metrics();
 
   if (checkers.timestamp_property || checkers.per_process_monotonicity) {
-    apply_checkers(inst->composed_calls(), checkers, rep);
+    const GenericCallLog composed = inst->composed_calls();
+    apply_checkers(composed, checkers, rep);
+    // At-most-once service: the claim protocol's observable consequence.
+    // Restarted processes legitimately re-run the same (pid, call_index), so
+    // the duplicate check only binds runs without restarts.
+    if (rep.restarts == 0) {
+      const verify::HbReport once =
+          verify::check_at_most_once_service(composed.records);
+      rep.violations.insert(rep.violations.end(), once.violations.begin(),
+                            once.violations.end());
+    }
     for (int s = 0; s < st.shards; ++s) {
       ScenarioReport local;
       apply_checkers(inst->shard_calls(s), checkers, local);
@@ -475,6 +521,10 @@ std::string ScenarioReport::summary() const {
     os << " shards=" << shards << " passes=" << combiner_passes
        << " combined=" << combined_calls << " max_batch=" << max_batch
        << " avg_batch=" << avg_batch << " cross_pairs=" << cross_shard_pairs;
+    if (lease_steals > 0 || lease_expiries > 0 || claim_losses > 0) {
+      os << " steals=" << lease_steals << " expiries=" << lease_expiries
+         << " claim_losses=" << claim_losses;
+    }
   }
   for (const auto& [key, value] : metrics) os << ' ' << key << '=' << value;
   os << (ok() ? " OK" : " VIOLATED");

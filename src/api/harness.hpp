@@ -64,10 +64,12 @@ struct ScheduleSource {
   /// Search budget for kFuzzer.
   FuzzOptions fuzz{};
   /// True for drivers that run one process solo until it blocks on a
-  /// covering condition (covering_adversary). The sharded service's
-  /// flat-combining wait loop never terminates under a solo scheduler (a
-  /// client poised mid-combine holds the shard lock while another spins), so
-  /// sharded scenarios reject such sources up front.
+  /// covering condition (covering_adversary). The combiner-lease protocol
+  /// recovers from a parked lease holder (a later solo process exhausts its
+  /// steal budget and steals the lease), so sharded scenarios accept these
+  /// sources — except under ShardSpec::allow_steal == false, the explicitly
+  /// wedgeable legacy config, which still rejects them up front rather than
+  /// burning the step budget on a spin that cannot end.
   bool solo_blocking = false;
 };
 
@@ -207,6 +209,13 @@ struct ScenarioReport {
   std::vector<std::uint64_t> shard_calls;
   std::vector<int> shard_clients;
   std::size_t cross_shard_pairs = 0;
+
+  /// Sharded fault accounting: leases stolen from stuck holders, steal
+  /// budgets exhausted (counted even when allow_steal is off), and claim
+  /// CASes lost by deposed passes (each one a prevented double-serve).
+  std::uint64_t lease_steals = 0;
+  std::uint64_t lease_expiries = 0;
+  std::uint64_t claim_losses = 0;
 
   Metrics metrics;
   std::vector<std::string> violations;

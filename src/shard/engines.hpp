@@ -8,13 +8,25 @@
 // batch runs with ONE scan pass (kHasBatch). maxscan amortizes its collect
 // (one scan of w registers serves the entire batch, labels mx+1..mx+m);
 // fetch&add amortizes its RMW (one fetch_add of m serves m calls). The
-// collect-free families (simple, sqrt, growing, bounded) execute batches
-// per-request under the combiner lock — still one thread doing cache-warm
-// back-to-back calls instead of w threads contending on the same lines.
+// collect-free families (simple, sqrt, growing, bounded) are NEVER
+// delegated: their one-shot getts cannot be safely re-executed by a deposed
+// combiner, so in batched mode each client runs its own getts and the
+// combiner pass only grants the composing epoch (sharded_service.hpp).
+//
+// Since combiner leases can be stolen, a batch may be executed by a pass
+// that is later deposed yet still completes (a zombie). Engine batches are
+// therefore written to be ZOMBIE-SAFE: they speculate — compute candidate
+// labels and touch only state whose monotonicity survives a stale pass
+// finishing late. maxscan writes the batch's top label ONCE to the
+// COMBINER'S OWN register (each register is then written only by its
+// owner's sequential passes, so registers stay monotone under any zombie
+// delay) and writes it BEFORE any response publishes (so a pass serving a
+// happens-after request collects at least that label). fetch&add draws from
+// an RMW, unique by construction. Batches do not publish, record, or count
+// calls — the claim winner in sharded_service.hpp does that per request.
 //
 // Engines run under OffsetCtx with shard-LOCAL pids, so every algorithm
-// keeps its own register discipline per shard; batch execution logs each
-// served request into the requesting client's arena of the shard recorder.
+// keeps its own register discipline per shard.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +42,6 @@
 #include "core/simple_oneshot.hpp"
 #include "core/sqrt_oneshot.hpp"
 #include "core/timestamp.hpp"
-#include "native/recorder.hpp"
 #include "runtime/coro.hpp"
 #include "shard/flat_combiner.hpp"
 #include "util/assert.hpp"
@@ -68,30 +79,29 @@ struct MaxscanEngine {
   }
 
   /// The flat-combining payoff: ONE collect of the shard's w registers
-  /// serves the whole batch. The pass hands out mx+1, mx+2, ... in slot
-  /// order and writes each label to the owner's register, so registers stay
-  /// monotone (every old value was <= mx) and the next pass's collect sees
-  /// all of them — batch labels strictly increase across passes.
+  /// serves the whole batch with candidate labels mx+1, mx+2, ... in slot
+  /// order, and ONE write lands the batch's top label in the combiner's own
+  /// register. Writing only the own register is the zombie-safety hinge:
+  /// each register is written solely by its owner's sequential passes, so a
+  /// deposed combiner finishing late can never drag a register backwards.
+  /// The write precedes every response publish (the claim loop runs after
+  /// this coroutine returns), so any pass serving a request published after
+  /// one of these responses collects mx' >= this top label — batch labels
+  /// of happens-before pairs strictly increase across passes of any mix of
+  /// generations.
   template <class Ctx>
-  runtime::SubTask<int> batch(Ctx& ctx, const ShardGeom& g,
+  runtime::SubTask<int> batch(Ctx& ctx, const ShardGeom& g, int my_local_pid,
                               const std::vector<BatchReq>& reqs,
-                              native::HistoryRecorder<Ts>& inner,
                               std::vector<Ts>& out) {
     std::int64_t mx = 0;
     for (int i = 0; i < g.width; ++i) {
       mx = std::max(mx, co_await ctx.read(i));
     }
-    std::int64_t label = mx;
     for (std::size_t i = 0; i < reqs.size(); ++i) {
-      const BatchReq& rq = reqs[i];
-      const std::uint64_t invoked = ctx.stamp();
-      ++label;
-      co_await ctx.write(rq.local_pid, label);
-      out[i] = label;
-      inner.arena(rq.client).record(
-          {rq.local_pid, rq.call_index, label, invoked, ctx.stamp()});
-      ctx.note_call_complete();
+      out[i] = mx + 1 + static_cast<std::int64_t>(i);
     }
+    co_await ctx.write(my_local_pid,
+                       mx + static_cast<std::int64_t>(reqs.size()));
     co_return static_cast<int>(reqs.size());
   }
 };
@@ -194,21 +204,17 @@ struct FetchAddEngine {
   }
 
   /// One fetch_add of m claims m consecutive labels for the whole batch.
+  /// Zombie-safe for free: the RMW makes every drawn label globally unique
+  /// and realtime-monotone; a deposed pass that loses its claims simply
+  /// leaves gaps in the label sequence.
   template <class Ctx>
-  runtime::SubTask<int> batch(Ctx& ctx, const ShardGeom&,
+  runtime::SubTask<int> batch(Ctx& ctx, const ShardGeom&, int /*my_local_pid*/,
                               const std::vector<BatchReq>& reqs,
-                              native::HistoryRecorder<Ts>& inner,
                               std::vector<Ts>& out) {
     const auto m = static_cast<std::int64_t>(reqs.size());
-    std::int64_t label = co_await ctx.fetch_add(0, m);
+    const std::int64_t base = co_await ctx.fetch_add(0, m);
     for (std::size_t i = 0; i < reqs.size(); ++i) {
-      const BatchReq& rq = reqs[i];
-      const std::uint64_t invoked = ctx.stamp();
-      ++label;
-      out[i] = label;
-      inner.arena(rq.client).record(
-          {rq.local_pid, rq.call_index, label, invoked, ctx.stamp()});
-      ctx.note_call_complete();
+      out[i] = base + 1 + static_cast<std::int64_t>(i);
     }
     co_return static_cast<int>(reqs.size());
   }

@@ -1,28 +1,54 @@
-// Flat-combining state for one sharded service (Bezerra–Freitas–Kuznetsov
-// motivation, PAPERS.md arXiv:2408.02562: amortize concurrent scans through
-// one combiner instead of paying one full collect per caller).
+// Crash-tolerant flat-combining state for one sharded service
+// (Bezerra–Freitas–Kuznetsov motivation, PAPERS.md arXiv:2408.02562:
+// amortize concurrent scans through one combiner instead of paying one full
+// collect per caller — without letting one crashed or preempted combiner
+// wedge its shard).
 //
 // Protocol per call: the caller publishes its request into its per-shard
-// slot (call_index plain-written, then `request` release-stored), then loops:
-// served? take the response. Combiner lock free? take it, run one combining
-// pass. Otherwise spin — a scheduler step on the simulator, bounded
-// spinning + yield on real threads. The self-serve arm makes the loop
-// wait-free against a missing combiner: a caller never depends on anyone
-// else volunteering.
+// slot (call_index/invoked stored, then `request` release-stored), then
+// loops: served? take the response. Lease free? take it, run one combining
+// pass, release. Lease held by someone who shows no progress for a full
+// steal budget? STEAL it and run the pass yourself. Otherwise probe — a
+// scheduler step on the simulator, bounded spinning + yield on real threads.
+// The self-combine arm alone makes the loop wait-free against a missing
+// combiner; the steal arm extends that to a combiner that crashed or parked
+// while HOLDING the lease.
 //
-// One combining pass (lock held): (1) COLLECT the pending requests of every
+// The lease replaces the old atomic<bool> lock with one word:
+//   [owner+1 : 16 bits][generation : 48 bits]      odd generation = held
+// Acquire CASes an even generation to gen+1 with the acquirer as owner;
+// release CASes the holder's exact word to gen+1 with no owner; a steal
+// CASes the observed held word to gen+2 — still odd, new owner — so the
+// deposed holder's release CAS fails and it learns it was deposed without
+// touching anything. The holder bumps `heartbeat` as it works; waiters reset
+// their budget whenever (lease word, heartbeat) changes, so only a genuinely
+// stuck holder expires.
+//
+// A deposed-but-alive combiner (a zombie: preempted on the native backend,
+// stalled by the jitter adversary, parked by the covering adversary on the
+// simulator) may wake later and finish its pass. Safety then rests on the
+// per-request CLAIM: a response is published only after winning a CAS on the
+// slot's `done` from seq-1 to seq. Exactly one pass — of any generation —
+// wins each request, writes the response fields, and release-stores `ready`;
+// losers count a claim_loss and touch nothing. At-most-once service per
+// (client, call) holds by construction, not by scheduling luck.
+//
+// One combining pass (lease held): (1) COLLECT the pending requests of every
 // slot the shard seats; (2) draw ONE epoch from the global counter — after
 // the collect, never before (a pass that drew its epoch first could stall,
 // then collect a request published after a later-epoch pass already
 // responded, handing out a stale epoch to a call that happens-after — the
 // linearization argument in docs/runtime.md hangs on this order); (3)
-// execute the batch against the shard's family instance — one single-scan
-// batch op where the family supports it, else per-request getts, all under
-// the lock; (4) fill each slot's response and release-store its `done` seq.
+// execute the batch against the shard's family instance; (4) claim each
+// request and, on the claimed ones only, publish the response. Passes of
+// different generations may interleave; the claim makes step (4) a
+// partition of the batch, and every engine's step (3) is written so that a
+// stale pass completing late cannot break register monotonicity (see
+// engines.hpp).
 //
-// All cross-thread traffic is slot-local acquire/release plus the two global
-// fetch&adds (epoch, shared clock); slots and shard controls are cacheline-
-// aligned so spinning callers do not false-share with their neighbors.
+// All cross-thread traffic is slot-local acquire/release plus the global
+// fetch&adds (epoch, lease, shared clock); slots and shard controls are
+// cacheline-aligned so spinning callers do not false-share with neighbors.
 #pragma once
 
 #include <atomic>
@@ -36,30 +62,109 @@ namespace stamped::shard {
 /// One request/response mailbox. In static routing each client uses the one
 /// slot of its home shard; with rehash_calls the service allocates a slot
 /// per (shard, client) pair and call k uses the slot of its routed shard.
-/// `request`/`done` carry the per-client call sequence (k+1), so a slot is
-/// pending exactly when request > done; responses are plain fields published
-/// by the release-store of `done` and read after its acquire-load.
+///
+/// Three counters drive the protocol, all carrying a slot-local sequence:
+///   request — client publishes seq (release); only the client writes it.
+///   done    — the claim arbiter: a pass serves seq only after CAS seq-1 ->
+///             seq; exactly one pass of any generation wins.
+///   ready   — the claim winner's publication: response fields are written
+///             before the release-store of seq; the client acquires it.
+/// Invariant: request ∈ {done, done+1} (no gaps — the client publishes seq
+/// r+1 only after taking response r; a restarted client drains an orphaned
+/// pending request before publishing a fresh one). call_index/invoked are
+/// atomics only because a deposed combiner may re-read them concurrently
+/// with the client's next publish; the stale values it loads are never used
+/// (its claim fails).
 template <class Ts>
 struct alignas(64) FcSlot {
   std::atomic<std::uint64_t> request{0};
   std::atomic<std::uint64_t> done{0};
-  int call_index = 0;
+  std::atomic<std::uint64_t> ready{0};
+  std::atomic<int> call_index{0};
+  std::atomic<std::uint64_t> invoked{0};
   std::uint64_t resp_epoch = 0;
   Ts resp_local{};
+
+  /// The claim: true iff this caller is the unique server of `seq`.
+  [[nodiscard]] bool claim(std::uint64_t seq) {
+    std::uint64_t expect = seq - 1;
+    return done.compare_exchange_strong(expect, seq,
+                                        std::memory_order_acq_rel);
+  }
 };
 
-/// Per-shard combiner lock and batch statistics. Stats are relaxed atomics
-/// written only by the lock holder; readers harvest after the run joins.
+/// Per-shard combiner lease and batch statistics. Stats are relaxed atomics;
+/// readers harvest after the run joins (sim: trivially; native: post-join).
 struct alignas(64) ShardCtl {
-  std::atomic<bool> lock{false};
+  /// [owner+1 : 16][generation : 48]; odd generation = held.
+  std::atomic<std::uint64_t> lease{0};
+  /// Bumped by the holder at pass start and per publication; waiters reset
+  /// their steal budget whenever (lease, heartbeat) moves.
+  std::atomic<std::uint64_t> heartbeat{0};
   std::atomic<std::uint64_t> passes{0};
   std::atomic<std::uint64_t> combined{0};
   std::atomic<std::uint64_t> max_batch{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> expiries{0};
+  std::atomic<std::uint64_t> claim_losses{0};
 
-  [[nodiscard]] bool try_lock() {
-    return !lock.exchange(true, std::memory_order_acquire);
+  static constexpr std::uint64_t kGenMask = (std::uint64_t{1} << 48) - 1;
+
+  [[nodiscard]] static std::uint64_t generation(std::uint64_t word) {
+    return word & kGenMask;
   }
-  void unlock() { lock.store(false, std::memory_order_release); }
+  [[nodiscard]] static bool held(std::uint64_t word) {
+    return (generation(word) & 1) != 0;
+  }
+  /// -1 when the lease is free.
+  [[nodiscard]] static int owner(std::uint64_t word) {
+    return static_cast<int>(word >> 48) - 1;
+  }
+  [[nodiscard]] static std::uint64_t word_of(int owner_pid,
+                                             std::uint64_t gen) {
+    STAMPED_ASSERT(owner_pid >= -1 && owner_pid < (1 << 16) - 1);
+    return (static_cast<std::uint64_t>(owner_pid + 1) << 48) |
+           (gen & kGenMask);
+  }
+
+  /// Take a free lease. Returns the held word on success, 0 on failure
+  /// (held, or lost the CAS race — the caller's loop retries).
+  [[nodiscard]] std::uint64_t try_acquire(int me) {
+    std::uint64_t w = lease.load(std::memory_order_acquire);
+    if (held(w)) return 0;
+    const std::uint64_t next = word_of(me, generation(w) + 1);
+    if (lease.compare_exchange_strong(w, next, std::memory_order_acq_rel)) {
+      return next;
+    }
+    return 0;
+  }
+
+  /// Depose the holder of `observed` (a held word this waiter watched expire
+  /// its budget): generation + 2 keeps the lease held, now by `me`. The old
+  /// holder's release CAS can no longer succeed. Returns the new held word
+  /// on success, 0 if the word moved (the holder progressed or someone else
+  /// stole first).
+  [[nodiscard]] std::uint64_t steal(int me, std::uint64_t observed) {
+    if (!held(observed)) return 0;
+    std::uint64_t w = observed;
+    const std::uint64_t next = word_of(me, generation(observed) + 2);
+    if (lease.compare_exchange_strong(w, next, std::memory_order_acq_rel)) {
+      steals.fetch_add(1, std::memory_order_relaxed);
+      return next;
+    }
+    return 0;
+  }
+
+  /// Release `mine` (the word try_acquire/steal returned). False means this
+  /// combiner was deposed mid-pass — the lease now belongs to a successor
+  /// and must not be touched.
+  [[nodiscard]] bool release(std::uint64_t mine) {
+    std::uint64_t w = mine;
+    return lease.compare_exchange_strong(w, word_of(-1, generation(mine) + 1),
+                                         std::memory_order_acq_rel);
+  }
+
+  void beat() { heartbeat.fetch_add(1, std::memory_order_relaxed); }
 
   void note_pass(std::uint64_t batch) {
     passes.fetch_add(1, std::memory_order_relaxed);
@@ -69,14 +174,24 @@ struct alignas(64) ShardCtl {
                               cur, batch, std::memory_order_relaxed)) {
     }
   }
+  void note_expiry() { expiries.fetch_add(1, std::memory_order_relaxed); }
+  void note_claim_loss() {
+    claim_losses.fetch_add(1, std::memory_order_relaxed);
+  }
 };
 
-/// One collected request, resolved to shard-local coordinates for the engine.
+/// One collected request, resolved to shard-local coordinates for the
+/// engine. `invoked` is the CLIENT's clock stamp at call start (captured
+/// from the slot at collect time): the claim winner records it as the call's
+/// invocation, so a stale pass publishing late still reports the true call
+/// interval — stamping at serve time would manufacture false happens-before
+/// pairs under zombie interleavings.
 struct BatchReq {
   int client = -1;
   int local_pid = -1;
   int call_index = 0;
   std::uint64_t seq = 0;
+  std::uint64_t invoked = 0;
 };
 
 }  // namespace stamped::shard

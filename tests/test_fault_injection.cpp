@@ -131,6 +131,71 @@ TEST(FaultInjection, CrashedCoverersDoNotBlockAlgorithm4Scans) {
   EXPECT_TRUE(report.ok()) << report.to_string();
 }
 
+class ShardedFaultSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(ShardedFaultSweep, CombinerVictimCrashesLeaveCleanHistories) {
+  // The tentpole's sweep: batched sharded service under the crash adversary
+  // for every family x shards {1, 2, 4}. Crash thresholds land anywhere in
+  // a victim's own step stream — including mid-combining-pass while it
+  // HOLDS a shard's lease. Survivors must steal through, finish, and leave
+  // composed/per-shard/cross-shard/at-most-once histories clean.
+  const auto [name, shards] = GetParam();
+  const auto& fam = api::family(name);
+  api::ScenarioSpec spec;
+  spec.n = 8;
+  spec.calls_per_process = fam.max_calls_per_process == 1 ? 1 : 3;
+  spec.universe_bound = 64;  // bounded family: window covers every call
+  spec.shard.shards = shards;
+  spec.shard.steal_budget = 12;  // tight budget: steals fire inside max_steps
+  for (const std::uint64_t seed : {41u, 42u, 43u}) {
+    spec.seed = seed;
+    const auto report = api::Harness{}.run_scenario(
+        fam, spec, api::crash_restart(crash_plan(3, 16)));
+    EXPECT_TRUE(report.ok())
+        << name << " shards=" << shards << " seed=" << seed << ": "
+        << report.summary();
+    EXPECT_TRUE(report.survivors_finished)
+        << name << " shards=" << shards << " seed=" << seed
+        << ": a crashed combiner wedged its shard — " << report.summary();
+    EXPECT_EQ(report.all_finished, report.crashed_down == 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ShardedFaultSweep,
+    ::testing::Combine(::testing::Values("maxscan", "fetchadd",
+                                         "simple-oneshot", "sqrt-oneshot",
+                                         "growing-oneshot", "bounded"),
+                       ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      std::string fam = std::get<0>(info.param);
+      for (char& c : fam) {
+        if (c == '-') c = '_';
+      }
+      return fam + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(FaultInjection, ShardedServiceSurvivesJitterStalls) {
+  // The jitter adversary stalls processes for whole windows — a combiner
+  // stalled while holding its lease is the sim-side version of native
+  // preemption. Waiters must steal and the histories stay clean.
+  api::ScenarioSpec spec;
+  spec.n = 8;
+  spec.calls_per_process = 3;
+  spec.seed = 11;
+  spec.shard.shards = 2;
+  spec.shard.steal_budget = 12;
+  runtime::JitterSpec jitter;
+  jitter.stall_period = 4;
+  jitter.max_stall = 48;
+  const auto report = api::Harness{}.run_scenario(api::family("maxscan"),
+                                                  spec, api::jittered(jitter));
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_TRUE(report.all_finished) << report.summary();
+  EXPECT_GT(report.stalls, 0u);
+}
+
 TEST(FaultInjection, SnapshotScanWaitFreeDespiteCrashedWriters) {
   // The snapshot object is not a timestamp family, so it takes the runtime
   // crash driver directly rather than going through the harness.

@@ -233,16 +233,47 @@ TEST(ShardedHarness, NativeBackendRunsAndChecksClean) {
   }
 }
 
-TEST(ShardedHarness, SoloBlockingSourceIsRejected) {
+TEST(ShardedHarness, SoloBlockingSourceRejectedOnlyWithoutStealing) {
   // covering_adversary parks a client mid-combine while it holds the shard
-  // lock; the harness must reject it rather than spin out the step budget.
+  // lease. With allow_steal off that wedges the shard forever, so the
+  // harness must reject the source up front rather than spin out the step
+  // budget...
   api::ScenarioSpec spec;
   spec.n = 4;
   spec.calls_per_process = 2;
   spec.shard.shards = 2;
+  spec.shard.allow_steal = false;
   EXPECT_THROW((void)api::Harness{}.run_scenario(
                    api::family("maxscan"), spec, api::covering_adversary()),
                stamped::invariant_error);
+
+  // ...while the default lease semantics recover: a later solo process
+  // exhausts its steal budget, steals the parked lease, and the run drains
+  // to a clean, fully-checked completion.
+  spec.shard.allow_steal = true;
+  const auto rep = api::Harness{}.run_scenario(api::family("maxscan"), spec,
+                                               api::covering_adversary());
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_TRUE(rep.all_finished) << rep.summary();
+  EXPECT_EQ(rep.calls, static_cast<std::uint64_t>(spec.total_calls()));
+}
+
+TEST(ShardedHarness, ZeroSpinBudgetStillTerminates) {
+  // Degenerate native budget: spin_budget = 0 yields on every probe. The
+  // wait loop's self-combine arm never depends on another process, so the
+  // run must still terminate and check clean.
+  api::ScenarioSpec spec;
+  spec.n = 6;
+  spec.calls_per_process = 4;
+  spec.backend = api::Backend::kNative;
+  spec.native_threads = 4;
+  spec.shard.shards = 2;
+  spec.shard.spin_budget = 0;
+  const auto rep = api::Harness{}.run_scenario(api::family("maxscan"), spec,
+                                               api::native_os());
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_TRUE(rep.all_finished);
+  EXPECT_EQ(rep.calls, static_cast<std::uint64_t>(spec.total_calls()));
 }
 
 TEST(ShardedHarness, SummaryCarriesShardLine) {
